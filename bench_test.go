@@ -1,0 +1,361 @@
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus the ablations of DESIGN.md §4 and micro-benchmarks of the hot
+// paths. Each Benchmark prints (once) the artifact it regenerates, then
+// times the computation that produces it.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale numbers (Table 2 grid with 30 repeats, Taxonomist with
+// 50+ trees) are produced by cmd/experiments; benchmarks use a reduced
+// but structurally identical grid so iterations stay in the millisecond
+// range.
+package repro
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/taxonomist"
+	"repro/internal/telemetry"
+)
+
+// benchDS lazily generates the shared benchmark dataset: the full
+// 11-application grid at reduced repetition count with a representative
+// metric subset (headline + strong memory + NIC + constant).
+var (
+	benchOnce sync.Once
+	benchData *dataset.Dataset
+	benchErr  error
+)
+
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := dataset.DefaultGenConfig()
+		cfg.Repeats = 8
+		cfg.Cluster.Metrics = []string{
+			apps.HeadlineMetric,
+			"Committed_AS_meminfo",
+			"Active_meminfo",
+			"PI_PKTS_metric_set_nic",
+			"MemTotal_meminfo",
+		}
+		benchData, benchErr = dataset.Generate(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchData
+}
+
+func benchHarness(b *testing.B) *experiments.Harness {
+	h := experiments.NewHarness(benchDataset(b))
+	h.Folds = 4
+	return h
+}
+
+// --- Table 1: the rounding-depth mechanism --------------------------
+
+func BenchmarkTable1RoundingDepth(b *testing.B) {
+	values := []float64{1358.0, 5.28, 0.038, 6012.7, 7530.2, 0.0004913}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, v := range values {
+			for depth := 1; depth <= 5; depth++ {
+				_ = stats.RoundDepth(v, depth)
+			}
+		}
+	}
+}
+
+// --- Table 2: dataset generation -------------------------------------
+
+func BenchmarkTable2DatasetGeneration(b *testing.B) {
+	cfg := dataset.DefaultGenConfig()
+	cfg.Apps = []string{"ft", "sp", "miniAMR"}
+	cfg.Repeats = 2
+	cfg.Cluster.Metrics = []string{apps.HeadlineMetric}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Len() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// --- Figure 1: the learn -> prune -> lookup pipeline ------------------
+
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := core.DefaultConfig(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := core.Build(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One recognition per built dictionary: the lookup step.
+		res := d.Recognize(core.Source(ds.Executions[i%ds.Len()]))
+		if res.Total == 0 {
+			b.Fatal("no fingerprints constructed")
+		}
+	}
+}
+
+// --- Figure 2: the five protocols -------------------------------------
+
+func BenchmarkFigure2NormalFold(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := h.NormalFold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.EFD < 0.9 {
+			b.Fatalf("normal fold F = %v, shape broken", s.EFD)
+		}
+	}
+}
+
+func BenchmarkFigure2SoftInput(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.SoftInput(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2SoftUnknown(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.SoftUnknown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2HardInput(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.HardInput(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2HardUnknown(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.HardUnknown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2TaxonomistNormalFold times the baseline side of
+// Figure 2 with a reduced forest.
+func BenchmarkFigure2TaxonomistNormalFold(b *testing.B) {
+	h := benchHarness(b)
+	h.Taxo = &experiments.TaxoConfig{
+		Forest: taxonomist.ForestConfig{Trees: 10, Seed: 1, Parallel: true,
+			Tree: taxonomist.TreeConfig{MinLeaf: 2}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := h.NormalFold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.HasTaxonomist {
+			b.Fatal("baseline missing")
+		}
+	}
+}
+
+// --- Table 3: the per-metric sweep ------------------------------------
+
+func BenchmarkTable3MetricSweep(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.MetricSweep(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("sweep rows = %d", len(rows))
+		}
+	}
+}
+
+// --- Table 4: the example dictionary ----------------------------------
+
+func BenchmarkTable4ExampleDictionary(b *testing.B) {
+	ds := benchDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.ExampleDictionary(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Dump(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ------------------------------------------
+
+func BenchmarkAblationRoundingDepth(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.DepthAblation(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationInterval(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.IntervalAblation(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationVoting(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.VotingAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJointCombo(b *testing.B) {
+	h := benchHarness(b)
+	combos := map[string][]string{
+		"pair": {apps.HeadlineMetric, "Committed_AS_meminfo"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.ComboAblation(combos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDictionaryGrowth(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.DictionaryGrowth(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---------------------------------
+
+func BenchmarkMicroLearnExecution(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := core.DefaultConfig(3)
+	d, err := core.NewDictionary(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := ds.Executions[i%ds.Len()]
+		d.Learn(core.Source(e), e.Label)
+	}
+}
+
+func BenchmarkMicroRecognizeExecution(b *testing.B) {
+	ds := benchDataset(b)
+	d, err := core.Build(ds, core.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := d.Recognize(core.Source(ds.Executions[i%ds.Len()]))
+		if res.Total == 0 {
+			b.Fatal("no fingerprints")
+		}
+	}
+}
+
+func BenchmarkMicroStreamFeed(b *testing.B) {
+	ds := benchDataset(b)
+	d, err := core.Build(ds, core.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.NewStream(d, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Feed(apps.HeadlineMetric, i%4, telemetry.PaperWindow.Start, 6000)
+	}
+}
+
+func BenchmarkMicroEvaluate(b *testing.B) {
+	pairs := make([]eval.Pair, 1000)
+	names := apps.Names()
+	for i := range pairs {
+		pairs[i] = eval.Pair{Truth: names[i%len(names)], Pred: names[(i+i/7)%len(names)]}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroTaxonomistPredict(b *testing.B) {
+	ds := benchDataset(b)
+	fvs, _, err := taxonomist.Extract(ds, taxonomist.FeatureConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	forest, err := taxonomist.TrainForest(fvs[:200], taxonomist.ForestConfig{Trees: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = forest.Predict(fvs[i%len(fvs)].Values)
+	}
+}

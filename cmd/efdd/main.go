@@ -1,0 +1,48 @@
+// Command efdd serves a trained Execution Fingerprint Dictionary as an
+// HTTP monitoring service (see internal/server for the API).
+//
+//	efdd -dict dict.json -addr :8080
+//
+// An LDMS aggregator (or any telemetry forwarder) registers running
+// jobs, streams their per-node samples, and queries recognition results
+// two minutes into each job. Completed jobs can be labelled back into
+// the dictionary, which is re-saved on shutdown when -save is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dictPath = flag.String("dict", "dict.json", "trained dictionary (from `efd learn`)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxJobs  = flag.Int("max-jobs", 4096, "maximum concurrently tracked jobs")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*dictPath)
+	if err != nil {
+		log.Fatalf("efdd: %v", err)
+	}
+	dict, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("efdd: load dictionary: %v", err)
+	}
+	st := dict.Stats()
+	fmt.Printf("efdd: dictionary %s — %d keys, %d labels, depth %d\n",
+		*dictPath, st.Keys, st.Labels, st.Depth)
+
+	srv := server.New(dict)
+	srv.MaxJobs = *maxJobs
+	fmt.Printf("efdd: listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,110 @@
+// Command gendataset generates the synthetic telemetry dataset — the
+// stand-in for the Taxonomist artifact of the paper — and writes it as
+// a summarized CSV consumable by cmd/efd and cmd/experiments.
+//
+// Usage:
+//
+//	gendataset -out dataset.csv                    # Table 2 primary grid
+//	gendataset -nodes 32 -repeats 6 -out large.csv # secondary grid
+//	gendataset -apps ft,mg,sp -repeats 5 -metrics nr_mapped_vmstat -out small.csv
+//	gendataset -raw ft_X.csv                       # one execution's raw 1 Hz telemetry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/ldms"
+	"repro/internal/noise"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output CSV path for the summarized dataset")
+		nodes   = flag.Int("nodes", 4, "nodes per execution")
+		repeats = flag.Int("repeats", 30, "executions per (application, input) pair")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		appsCSV = flag.String("apps", "", "comma-separated application subset (default: all 11)")
+		metsCSV = flag.String("metrics", "", "comma-separated metric subset (default: full catalog)")
+		raw     = flag.String("raw", "", "write one execution's raw telemetry CSV to this path instead")
+		rawApp  = flag.String("raw-app", "ft", "application for -raw")
+		rawIn   = flag.String("raw-input", "X", "input size for -raw")
+	)
+	flag.Parse()
+
+	if *raw != "" {
+		if err := writeRaw(*raw, *rawApp, apps.Input(*rawIn), *nodes, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gendataset: -out or -raw is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := dataset.DefaultGenConfig()
+	cfg.Cluster.Nodes = *nodes
+	cfg.Repeats = *repeats
+	cfg.Seed = *seed
+	if *appsCSV != "" {
+		cfg.Apps = strings.Split(*appsCSV, ",")
+	}
+	if *metsCSV != "" {
+		cfg.Cluster.Metrics = strings.Split(*metsCSV, ",")
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := ds.SaveCSV(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d executions (%d labels, %d metrics, %d nodes each) to %s\n",
+		ds.Len(), len(ds.Labels()), len(ds.Metrics()), *nodes, *out)
+}
+
+// writeRaw runs a single execution on the simulated cluster and dumps
+// its full 1 Hz telemetry in the per-node CSV layout.
+func writeRaw(path, app string, in apps.Input, nodes int, seed int64) error {
+	spec, ok := apps.Lookup(app)
+	if !ok {
+		return fmt.Errorf("unknown application %q", app)
+	}
+	sim, err := cluster.New(cluster.Config{Nodes: nodes, Noise: noise.DefaultProfile()})
+	if err != nil {
+		return err
+	}
+	ns, exec, err := sim.Run(spec, in, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ldms.WriteExecutionCSV(f, ns); err != nil {
+		return err
+	}
+	fmt.Printf("wrote raw telemetry of %s_%s (%v, %d nodes, %d series) to %s\n",
+		app, in, exec.Duration().Round(1e9), nodes, ns.NumSeries(), path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gendataset:", err)
+	os.Exit(1)
+}

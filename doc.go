@@ -1,0 +1,6 @@
+// Package repro is the root of the EFD reproduction module. The public
+// library API lives in package repro/efd; the benchmark harness in
+// bench_test.go regenerates every table and figure of the paper (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results).
+package repro

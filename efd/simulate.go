@@ -1,0 +1,52 @@
+package efd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/noise"
+	"repro/internal/telemetry"
+)
+
+// Telemetry-level re-exports, for consumers that work with raw 1 Hz
+// series (e.g. online recognition demos) rather than summarized
+// datasets.
+type (
+	// NodeSet is one execution's raw telemetry: per node, per metric
+	// series.
+	NodeSet = telemetry.NodeSet
+	// Series is one metric's samples on one node.
+	Series = telemetry.Series
+	// Sample is one timestamped measurement.
+	Sample = telemetry.Sample
+)
+
+// SimulateExecution runs one synthetic execution of the named
+// application on the simulated cluster and returns its raw telemetry
+// restricted to the given metrics (nil = full catalog). The seed makes
+// the run reproducible.
+func SimulateExecution(app string, in Input, nodes int, metrics []string, seed int64) (*NodeSet, error) {
+	spec, ok := apps.Lookup(app)
+	if !ok {
+		return nil, fmt.Errorf("efd: unknown application %q", app)
+	}
+	sim, err := cluster.New(cluster.Config{
+		Nodes:   nodes,
+		Noise:   noise.DefaultProfile(),
+		Metrics: metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns, _, err := sim.Run(spec, in, rand.New(rand.NewSource(seed)))
+	return ns, err
+}
+
+// SummarizeExecution converts raw telemetry into a dataset execution
+// record with the default window set, ready for Recognize via SourceOf.
+func SummarizeExecution(id int, label Label, ns *NodeSet) *Execution {
+	return dataset.Summarize(id, label, ns, dataset.DefaultWindows())
+}

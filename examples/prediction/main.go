@@ -1,0 +1,100 @@
+// Resource prediction: the dictionary in reverse (§6 of the paper).
+//
+// The paper notes that populating the dictionary with several time
+// intervals enables resource-usage prediction: look up a known
+// application and report the usage its past executions showed, per
+// interval — useful for job scheduling and energy estimation. This
+// example trains a multi-interval dictionary and forecasts the usage
+// trajectory of an application before it runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/efd"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	// Three consecutive one-minute intervals in one dictionary: the
+	// fingerprint encoding lets them coexist (metric, node, interval
+	// are all part of the key).
+	windows := []efd.Window{
+		{Start: 0, End: 60e9},
+		{Start: 60e9, End: 120e9},
+		{Start: 120e9, End: 180e9},
+	}
+	cfg := efd.DefaultDatasetConfig()
+	cfg.Repeats = 10
+	cfg.Cluster.Metrics = []string{efd.HeadlineMetric}
+	cfg.Windows = windows
+	ds, err := efd.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train := efd.DefaultTrainConfig()
+	train.Windows = windows
+	dict, report, err := efd.Train(ds, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-interval dictionary: %d keys at depth %d over %d intervals\n",
+		dict.Len(), report.BestDepth, len(windows))
+
+	// A user submits miniAMR_Z. What resource usage should the
+	// scheduler expect, minute by minute?
+	forecast(dict, efd.Label{App: "miniAMR", Input: "Z"})
+	forecast(dict, efd.Label{App: "ft", Input: "X"})
+}
+
+// forecast prints the expected per-interval usage range of a label from
+// its stored fingerprints.
+func forecast(dict *efd.Dictionary, label efd.Label) {
+	entries := dict.PredictUsageForLabel(label)
+	if len(entries) == 0 {
+		fmt.Printf("\n%s: no history\n", label)
+		return
+	}
+	fmt.Printf("\nforecast for %s (%s):\n", label, efd.HeadlineMetric)
+	type rng struct{ lo, hi float64 }
+	byWindow := make(map[string]*rng)
+	for _, e := range entries {
+		v, err := stats.ParseKey(e.Key.Key)
+		if err != nil {
+			continue
+		}
+		r, ok := byWindow[e.Key.Window]
+		if !ok {
+			byWindow[e.Key.Window] = &rng{lo: v, hi: v}
+			continue
+		}
+		if v < r.lo {
+			r.lo = v
+		}
+		if v > r.hi {
+			r.hi = v
+		}
+	}
+	keys := make([]string, 0, len(byWindow))
+	for k := range byWindow {
+		keys = append(keys, k)
+	}
+	// Sort by interval start (parse the window notation).
+	sort.Slice(keys, func(i, j int) bool {
+		wi, _ := telemetry.ParseWindow(keys[i])
+		wj, _ := telemetry.ParseWindow(keys[j])
+		return wi.Start < wj.Start
+	})
+	for _, k := range keys {
+		r := byWindow[k]
+		if r.lo == r.hi {
+			fmt.Printf("  %-10s expect ≈ %.0f\n", k, r.lo)
+		} else {
+			fmt.Printf("  %-10s expect %.0f – %.0f\n", k, r.lo, r.hi)
+		}
+	}
+}

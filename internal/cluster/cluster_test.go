@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/noise"
+	"repro/internal/telemetry"
+)
+
+func quietSim(t *testing.T, nodes int, metrics []string) *Simulator {
+	t.Helper()
+	s, err := New(Config{Nodes: nodes, Noise: noise.QuietProfile(), Metrics: metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := New(Config{Nodes: 1, Metrics: []string{"bogus"}}); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if _, err := New(Config{Nodes: 1, Metrics: []string{}}); err == nil {
+		t.Error("explicitly empty metric selection should fail")
+	}
+	s, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.MetricNames()); got != len(apps.Metrics()) {
+		t.Errorf("default selection = %d metrics, want full catalog %d",
+			got, len(apps.Metrics()))
+	}
+	if s.Config().Period != telemetry.DefaultPeriod {
+		t.Errorf("default period = %v", s.Config().Period)
+	}
+}
+
+func TestRunProducesCompleteTelemetry(t *testing.T) {
+	metrics := []string{apps.HeadlineMetric, "Committed_AS_meminfo"}
+	sim := quietSim(t, 3, metrics)
+	spec, _ := apps.Lookup("lu")
+	ns, exec, err := sim.Run(spec, apps.InputX, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Validate(); err != nil {
+		t.Fatalf("telemetry invalid: %v", err)
+	}
+	if got := ns.Nodes(); len(got) != 3 {
+		t.Fatalf("nodes = %v", got)
+	}
+	if got := ns.Metrics(); len(got) != 2 {
+		t.Fatalf("metrics = %v", got)
+	}
+	s := ns.Get(0, apps.HeadlineMetric)
+	wantSamples := int(exec.Duration()/time.Second) + 1
+	if s.Len() != wantSamples {
+		t.Errorf("series length %d, want %d", s.Len(), wantSamples)
+	}
+	// 1 Hz grid.
+	if s.Samples[1].Offset-s.Samples[0].Offset != time.Second {
+		t.Error("sampling period is not 1s")
+	}
+}
+
+func TestRunRejectsUnsupportedInput(t *testing.T) {
+	sim := quietSim(t, 2, []string{apps.HeadlineMetric})
+	spec, _ := apps.Lookup("ft")
+	if _, _, err := sim.Run(spec, apps.InputL, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("ft with input L should fail")
+	}
+}
+
+func TestQuietWindowMeanNearModelLevel(t *testing.T) {
+	sim := quietSim(t, 4, []string{apps.HeadlineMetric})
+	spec, _ := apps.Lookup("lu")
+	ns, _, err := sim.Run(spec, apps.InputY, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lu node 0 models 8440, others 8330 (Table 4).
+	want := []float64{8440, 8330, 8330, 8330}
+	for node, w := range want {
+		mean, err := ns.Get(node, apps.HeadlineMetric).WindowMean(telemetry.PaperWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-w)/w > 0.01 {
+			t.Errorf("node %d window mean %v, want ≈ %v", node, mean, w)
+		}
+	}
+}
+
+func TestInitTransientVisible(t *testing.T) {
+	cfg := Config{Nodes: 1, Noise: noise.DefaultProfile(), Metrics: []string{apps.HeadlineMetric}}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := apps.Lookup("ft")
+	ns, _, err := sim.Run(spec, apps.InputX, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ns.Get(0, apps.HeadlineMetric)
+	first := s.Samples[0].Value
+	steady, err := s.WindowMean(telemetry.PaperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The start-up excursion must be clearly above the steady level.
+	if first < steady*1.2 {
+		t.Errorf("init transient too weak: first=%v steady=%v", first, steady)
+	}
+}
+
+func TestValuesNonNegative(t *testing.T) {
+	sim, err := New(Config{Nodes: 2, Noise: noise.DefaultProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := apps.Lookup("miniMD")
+	ns, _, err := sim.Run(spec, apps.InputX, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ns.Metrics() {
+		for _, node := range ns.Nodes() {
+			for _, sm := range ns.Get(node, m).Samples {
+				if sm.Value < 0 {
+					t.Fatalf("negative telemetry %v for %s", sm.Value, m)
+				}
+			}
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	sim := quietSim(t, 2, []string{apps.HeadlineMetric})
+	spec, _ := apps.Lookup("cg")
+	run := func() *telemetry.NodeSet {
+		ns, _, err := sim.Run(spec, apps.InputZ, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ns
+	}
+	a, b := run(), run()
+	sa, sb := a.Get(1, apps.HeadlineMetric), b.Get(1, apps.HeadlineMetric)
+	if sa.Len() != sb.Len() {
+		t.Fatal("lengths differ across identical seeds")
+	}
+	for i := range sa.Samples {
+		if sa.Samples[i] != sb.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, sa.Samples[i], sb.Samples[i])
+		}
+	}
+}
+
+func TestConstantMetricUnperturbedByExecution(t *testing.T) {
+	sim := quietSim(t, 1, []string{"MemTotal_meminfo"})
+	specA, _ := apps.Lookup("ft")
+	specB, _ := apps.Lookup("kripke")
+	nsA, _, err := sim.Run(specA, apps.InputX, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsB, _, err := sim.Run(specB, apps.InputZ, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := nsA.Get(0, "MemTotal_meminfo").WindowMean(telemetry.PaperWindow)
+	mb, _ := nsB.Get(0, "MemTotal_meminfo").WindowMean(telemetry.PaperWindow)
+	if math.Abs(ma-mb)/ma > 0.001 {
+		t.Errorf("constant metric differs across apps: %v vs %v", ma, mb)
+	}
+}

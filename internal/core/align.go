@@ -1,0 +1,123 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetrySource adapts raw telemetry (a NodeSet of 1 Hz series) to
+// the WindowSource interface, optionally shifting every window by a
+// fixed offset. It lets the recognizer operate directly on collected
+// series — and, with non-zero shifts, probe alternative alignments of
+// the execution's start time.
+type TelemetrySource struct {
+	NS *telemetry.NodeSet
+	// Shift is added to both window bounds before slicing, so a
+	// positive shift looks later into the telemetry. Windows shifted
+	// below zero yield no mean.
+	Shift time.Duration
+
+	nodes []int
+}
+
+// NewTelemetrySource wraps raw telemetry for recognition.
+func NewTelemetrySource(ns *telemetry.NodeSet) *TelemetrySource {
+	return &TelemetrySource{NS: ns, nodes: ns.Nodes()}
+}
+
+// WindowMean implements WindowSource over the raw series.
+func (t *TelemetrySource) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	s := t.NS.Get(node, metric)
+	if s == nil {
+		return 0, false
+	}
+	w.Start += t.Shift
+	w.End += t.Shift
+	if w.Start < 0 || !w.Valid() {
+		return 0, false
+	}
+	mean, err := s.WindowMean(w)
+	if err != nil {
+		return 0, false
+	}
+	return mean, true
+}
+
+// NodeCount implements WindowSource.
+func (t *TelemetrySource) NodeCount() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.nodes[len(t.nodes)-1] + 1
+}
+
+// AlignedResult extends a recognition result with the temporal offset
+// that produced it.
+type AlignedResult struct {
+	Result
+	// Offset is the shift applied to the fingerprint windows.
+	Offset time.Duration
+}
+
+// RecognizeAligned performs temporally aligned recognition — the third
+// Shazam aspect the paper lists as future work (§2, §6). Monitoring
+// pipelines do not always know the exact moment an application started
+// (queue time, MPI launch, container start all blur it); a fingerprint
+// window anchored at the wrong origin misses the dictionary. This
+// method probes each candidate offset, recognizes the telemetry as if
+// the execution had started that much earlier or later, and returns
+// the offset whose recognition matched the most fingerprints (ties:
+// more votes for the top application, then smaller absolute offset).
+//
+// With offsets == nil, offsets of 0, ±5 s, ±10 s, ±20 s and ±30 s are
+// probed.
+func (d *Dictionary) RecognizeAligned(ns *telemetry.NodeSet, offsets []time.Duration) AlignedResult {
+	if offsets == nil {
+		offsets = []time.Duration{
+			0,
+			5 * time.Second, -5 * time.Second,
+			10 * time.Second, -10 * time.Second,
+			20 * time.Second, -20 * time.Second,
+			30 * time.Second, -30 * time.Second,
+		}
+	}
+	src := NewTelemetrySource(ns)
+	best := AlignedResult{Offset: 0}
+	first := true
+	for _, off := range offsets {
+		src.Shift = off
+		res := d.Recognize(src)
+		if first || betterAlignment(res, off, best) {
+			best = AlignedResult{Result: res, Offset: off}
+			first = false
+		}
+	}
+	return best
+}
+
+// betterAlignment reports whether (res, off) beats the current best.
+func betterAlignment(res Result, off time.Duration, best AlignedResult) bool {
+	if res.Matched != best.Matched {
+		return res.Matched > best.Matched
+	}
+	rv, bv := topVotes(res), topVotes(best.Result)
+	if rv != bv {
+		return rv > bv
+	}
+	return absDur(off) < absDur(best.Offset)
+}
+
+func topVotes(r Result) int {
+	if len(r.Apps) == 0 {
+		return 0
+	}
+	return r.Votes[r.Apps[0]]
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

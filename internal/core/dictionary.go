@@ -1,0 +1,366 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/telemetry"
+)
+
+// Dictionary is the Execution Fingerprint Dictionary: a hash table from
+// fingerprints to the set of (application, input size) labels whose
+// training executions produced them. Keys are unique; a key observed
+// under several labels accumulates all of them — that is the collision
+// case discussed in §5 of the paper (e.g. SP and BT at rounding
+// depth 2).
+//
+// A Dictionary is not safe for concurrent mutation; concurrent Lookup
+// and Recognize calls are safe once learning is done.
+type Dictionary struct {
+	cfg     Config
+	entries map[Fingerprint]*entry
+	// appOrder records the order in which application names were first
+	// learned; ties during recognition resolve in this order (the
+	// paper returns SP for the SP/BT tie because SP was learned
+	// first).
+	appOrder map[string]int
+	apps     []string
+}
+
+type entry struct {
+	labels []apps.Label
+	seen   map[apps.Label]bool
+	// counts tracks how many training executions produced this key per
+	// label — the "repetition count" of §3. It feeds weighted voting
+	// and Compact.
+	counts map[apps.Label]int
+}
+
+// NewDictionary returns an empty dictionary with the given fingerprint
+// configuration.
+func NewDictionary(cfg Config) (*Dictionary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Dictionary{
+		cfg:      cfg,
+		entries:  make(map[Fingerprint]*entry),
+		appOrder: make(map[string]int),
+	}, nil
+}
+
+// Config returns the dictionary's fingerprint configuration.
+func (d *Dictionary) Config() Config { return d.cfg }
+
+// Add inserts one fingerprint/label pair. A repeated pair increments
+// the pair's observation count; a fingerprint gaining a second label
+// becomes a collision entry.
+func (d *Dictionary) Add(fp Fingerprint, label apps.Label) {
+	d.AddN(fp, label, 1)
+}
+
+// AddN inserts a fingerprint/label pair observed n times (n must be
+// positive; non-positive counts are ignored).
+func (d *Dictionary) AddN(fp Fingerprint, label apps.Label, n int) {
+	if n <= 0 {
+		return
+	}
+	e, ok := d.entries[fp]
+	if !ok {
+		e = &entry{seen: make(map[apps.Label]bool), counts: make(map[apps.Label]int)}
+		d.entries[fp] = e
+	}
+	e.counts[label] += n
+	if e.seen[label] {
+		return
+	}
+	e.seen[label] = true
+	e.labels = append(e.labels, label)
+	if _, ok := d.appOrder[label.App]; !ok {
+		d.appOrder[label.App] = len(d.apps)
+		d.apps = append(d.apps, label.App)
+	}
+}
+
+// Count reports how many training executions produced the fingerprint
+// under the label.
+func (d *Dictionary) Count(fp Fingerprint, label apps.Label) int {
+	e, ok := d.entries[fp]
+	if !ok {
+		return 0
+	}
+	return e.counts[label]
+}
+
+// Compact removes keys whose total observation count is below min,
+// pruning one-off noise fingerprints (e.g. a single interference-
+// shifted run) while keeping the repeated, reliable keys. It returns
+// the number of keys removed. Compact never removes the last key of a
+// label, so no learned application vanishes from the dictionary.
+func (d *Dictionary) Compact(min int) int {
+	if min <= 1 {
+		return 0
+	}
+	// Count keys per label so the guard below can hold.
+	keysPerLabel := make(map[apps.Label]int)
+	for _, e := range d.entries {
+		for _, l := range e.labels {
+			keysPerLabel[l]++
+		}
+	}
+	removed := 0
+	for fp, e := range d.entries {
+		total := 0
+		for _, c := range e.counts {
+			total += c
+		}
+		if total >= min {
+			continue
+		}
+		last := false
+		for _, l := range e.labels {
+			if keysPerLabel[l] <= 1 {
+				last = true
+				break
+			}
+		}
+		if last {
+			continue
+		}
+		for _, l := range e.labels {
+			keysPerLabel[l]--
+		}
+		delete(d.entries, fp)
+		removed++
+	}
+	return removed
+}
+
+// Learn extracts the fingerprints of a labelled execution and adds them
+// all. This is the entire training step of the EFD — no optimization,
+// no model.
+func (d *Dictionary) Learn(src WindowSource, label apps.Label) {
+	for _, fp := range Extract(src, d.cfg) {
+		d.Add(fp, label)
+	}
+}
+
+// Lookup returns the labels stored under the fingerprint, in learning
+// order, or nil when the fingerprint is unknown. The returned slice is
+// shared; callers must not modify it.
+func (d *Dictionary) Lookup(fp Fingerprint) []apps.Label {
+	e, ok := d.entries[fp]
+	if !ok {
+		return nil
+	}
+	return e.labels
+}
+
+// Len reports the number of distinct fingerprint keys.
+func (d *Dictionary) Len() int { return len(d.entries) }
+
+// Apps returns the application names known to the dictionary in
+// learning order.
+func (d *Dictionary) Apps() []string {
+	out := make([]string, len(d.apps))
+	copy(out, d.apps)
+	return out
+}
+
+// Stats summarizes dictionary composition: how many keys are exclusive
+// to one application versus collisions shared by several — the
+// exclusiveness/pruning trade-off that rounding depth controls.
+type Stats struct {
+	Keys       int
+	Exclusive  int // keys whose labels all share one application
+	Collisions int // keys spanning two or more applications
+	Labels     int // distinct labels seen
+	Depth      int
+}
+
+// Stats computes composition statistics.
+func (d *Dictionary) Stats() Stats {
+	s := Stats{Keys: len(d.entries), Depth: d.cfg.Depth}
+	labelSet := make(map[apps.Label]bool)
+	for _, e := range d.entries {
+		firstApp := ""
+		exclusive := true
+		for _, l := range e.labels {
+			labelSet[l] = true
+			if firstApp == "" {
+				firstApp = l.App
+			} else if l.App != firstApp {
+				exclusive = false
+			}
+		}
+		if exclusive {
+			s.Exclusive++
+		} else {
+			s.Collisions++
+		}
+	}
+	s.Labels = len(labelSet)
+	return s
+}
+
+// Entry pairs a fingerprint with its labels for enumeration.
+type Entry struct {
+	Key    Fingerprint
+	Labels []apps.Label
+	// Counts holds per-label observation counts, parallel to Labels.
+	Counts []int
+}
+
+// Entries returns every dictionary entry sorted the way Table 4 lists
+// them: by metric, window, ascending mean, then node — so related keys
+// group together. Labels inside an entry keep learning order.
+func (d *Dictionary) Entries() []Entry {
+	out := make([]Entry, 0, len(d.entries))
+	for fp, e := range d.entries {
+		labels := make([]apps.Label, len(e.labels))
+		copy(labels, e.labels)
+		counts := make([]int, len(e.labels))
+		for i, l := range e.labels {
+			counts[i] = e.counts[l]
+		}
+		out = append(out, Entry{Key: fp, Labels: labels, Counts: counts})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Metric != b.Metric {
+			return a.Metric < b.Metric
+		}
+		if a.Window != b.Window {
+			return a.Window < b.Window
+		}
+		if a.Key != b.Key {
+			am, bm := a.Mean(), b.Mean()
+			if am != bm {
+				return am < bm
+			}
+			return a.Key < b.Key
+		}
+		return a.Node < b.Node
+	})
+	return out
+}
+
+// Dump renders the dictionary in the layout of Table 4.
+func (d *Dictionary) Dump(w io.Writer) error {
+	fmt.Fprintf(w, "%-28s %5s %10s %10s   %s\n", "Metric Name", "Node", "Interval", "Mean", "Application + Input Size")
+	for _, e := range d.Entries() {
+		vals := make([]string, len(e.Labels))
+		for i, l := range e.Labels {
+			vals[i] = l.String()
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %5d %10s %10s   %s\n",
+			e.Key.Metric, e.Key.Node, e.Key.Window,
+			e.Key.Key, strings.Join(vals, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge adds every entry of other into d. Label order within merged
+// entries follows d first, then other's additions.
+func (d *Dictionary) Merge(other *Dictionary) {
+	for fp, e := range other.entries {
+		for _, l := range e.labels {
+			d.AddN(fp, l, e.counts[l])
+		}
+	}
+}
+
+// jsonDict is the serialized form of a Dictionary.
+type jsonDict struct {
+	Metrics []string    `json:"metrics"`
+	Windows []string    `json:"windows"`
+	Depth   int         `json:"depth"`
+	Apps    []string    `json:"apps"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Metric string   `json:"metric"`
+	Node   int      `json:"node"`
+	Window string   `json:"window"`
+	Key    string   `json:"key"` // canonical decimal string(s), bit-exact
+	Labels []string `json:"labels"`
+	// Counts are per-label observation counts, parallel to Labels;
+	// absent counts load as 1.
+	Counts []int `json:"counts,omitempty"`
+}
+
+// Save writes the dictionary as JSON. Keys are canonical decimal
+// strings, so a load reproduces bit-identical fingerprints.
+func (d *Dictionary) Save(w io.Writer) error {
+	jd := jsonDict{Depth: d.cfg.Depth, Apps: d.Apps()}
+	jd.Metrics = append(jd.Metrics, d.cfg.Metrics...)
+	for _, win := range d.cfg.Windows {
+		jd.Windows = append(jd.Windows, win.String())
+	}
+	for _, e := range d.Entries() {
+		je := jsonEntry{
+			Metric: e.Key.Metric,
+			Node:   e.Key.Node,
+			Window: e.Key.Window,
+			Key:    e.Key.Key,
+		}
+		for i, l := range e.Labels {
+			je.Labels = append(je.Labels, l.String())
+			je.Counts = append(je.Counts, e.Counts[i])
+		}
+		jd.Entries = append(jd.Entries, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jd)
+}
+
+// Load reads a dictionary previously written by Save.
+func Load(r io.Reader) (*Dictionary, error) {
+	var jd jsonDict
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("core: decode dictionary: %w", err)
+	}
+	cfg := Config{Metrics: jd.Metrics, Depth: jd.Depth}
+	for _, ws := range jd.Windows {
+		w, err := telemetry.ParseWindow(ws)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Windows = append(cfg.Windows, w)
+	}
+	d, err := NewDictionary(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-register apps so learning order survives the round trip.
+	for _, a := range jd.Apps {
+		d.appOrder[a] = len(d.apps)
+		d.apps = append(d.apps, a)
+	}
+	for _, je := range jd.Entries {
+		fp := Fingerprint{Metric: je.Metric, Node: je.Node, Window: je.Window, Key: je.Key}
+		if fp.Key == "" {
+			return nil, fmt.Errorf("core: entry with empty key")
+		}
+		for i, ls := range je.Labels {
+			l, err := apps.ParseLabel(ls)
+			if err != nil {
+				return nil, err
+			}
+			n := 1
+			if i < len(je.Counts) && je.Counts[i] > 0 {
+				n = je.Counts[i]
+			}
+			d.AddN(fp, l, n)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/telemetry"
+)
+
+// Source adapts a dataset execution to the WindowSource interface.
+func Source(e *dataset.Execution) WindowSource { return execSource{e} }
+
+type execSource struct{ e *dataset.Execution }
+
+func (s execSource) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	return s.e.WindowMean(metric, node, w)
+}
+
+func (s execSource) NodeCount() int { return s.e.NumNodes }
+
+// FitConfig controls dictionary training. Rounding depth is the EFD's
+// only tunable parameter; Fit selects it by cross-validation within the
+// training set, exactly as the paper prescribes.
+type FitConfig struct {
+	// Metrics and Windows select the fingerprints (see Config).
+	Metrics []string
+	Windows []telemetry.Window
+	// Joint combines all metrics into composite keys (see Config).
+	Joint bool
+	// Depths are the candidate rounding depths; nil tries 1 through 6.
+	Depths []int
+	// InnerFolds is the fold count of the internal cross-validation
+	// (default 5, reduced automatically when classes are small).
+	InnerFolds int
+	// Seed drives the internal fold shuffling.
+	Seed int64
+}
+
+// DefaultFitConfig returns the paper's headline setting: the single
+// metric nr_mapped_vmstat over [60:120], depths 1–6, 5 inner folds.
+func DefaultFitConfig() FitConfig {
+	base := DefaultConfig(1)
+	return FitConfig{Metrics: base.Metrics, Windows: base.Windows, InnerFolds: 5, Seed: 1}
+}
+
+// FitReport describes how the rounding depth was chosen.
+type FitReport struct {
+	// BestDepth is the selected rounding depth.
+	BestDepth int
+	// DepthScores maps each candidate depth to its cross-validated
+	// macro F1 on the training set.
+	DepthScores map[int]float64
+	// Folds is the inner fold count actually used (0 when the
+	// training set was too small for cross-validation and the median
+	// candidate depth was used instead).
+	Folds int
+}
+
+// Fit learns a dictionary from the training set, selecting the rounding
+// depth by stratified cross-validation within the training set, then
+// building the final dictionary at the chosen depth over all training
+// executions.
+func Fit(train *dataset.Dataset, cfg FitConfig) (*Dictionary, FitReport, error) {
+	if train.Len() == 0 {
+		return nil, FitReport{}, fmt.Errorf("core: empty training set")
+	}
+	depths := cfg.Depths
+	if depths == nil {
+		depths = []int{1, 2, 3, 4, 5, 6}
+	}
+	folds := cfg.InnerFolds
+	if folds <= 0 {
+		folds = 5
+	}
+	// Clamp the fold count to the smallest class size so stratified
+	// folding stays possible on small training sets.
+	minClass := train.Len()
+	counts := make(map[string]int)
+	for _, e := range train.Executions {
+		counts[e.Label.String()]++
+	}
+	for _, c := range counts {
+		if c < minClass {
+			minClass = c
+		}
+	}
+	if folds > minClass {
+		folds = minClass
+	}
+
+	report := FitReport{DepthScores: make(map[int]float64), Folds: folds}
+	if folds < 2 {
+		// Too small to cross-validate: fall back to the median
+		// candidate depth.
+		report.Folds = 0
+		report.BestDepth = depths[len(depths)/2]
+	} else {
+		kf, err := train.KFold(folds, cfg.Seed)
+		if err != nil {
+			return nil, FitReport{}, err
+		}
+		bestScore := -1.0
+		for _, depth := range depths {
+			var pairs []eval.Pair
+			for _, fold := range kf {
+				d, err := build(train.Subset(fold.Train), cfg, depth)
+				if err != nil {
+					return nil, FitReport{}, err
+				}
+				pairs = append(pairs, Classify(d, train.Subset(fold.Test))...)
+			}
+			score := eval.F1Macro(pairs)
+			report.DepthScores[depth] = score
+			// Strict improvement keeps the tie-break at the smaller
+			// (more pruned, more general) depth.
+			if score > bestScore {
+				bestScore = score
+				report.BestDepth = depth
+			}
+		}
+	}
+
+	d, err := build(train, cfg, report.BestDepth)
+	if err != nil {
+		return nil, FitReport{}, err
+	}
+	return d, report, nil
+}
+
+// build constructs a dictionary over the whole dataset at a fixed
+// depth, learning executions in a deterministic order.
+func build(ds *dataset.Dataset, cfg FitConfig, depth int) (*Dictionary, error) {
+	d, err := NewDictionary(Config{Metrics: cfg.Metrics, Windows: cfg.Windows, Depth: depth, Joint: cfg.Joint})
+	if err != nil {
+		return nil, err
+	}
+	execs := make([]*dataset.Execution, len(ds.Executions))
+	copy(execs, ds.Executions)
+	sort.Slice(execs, func(i, j int) bool { return execs[i].ID < execs[j].ID })
+	for _, e := range execs {
+		d.Learn(Source(e), e.Label)
+	}
+	return d, nil
+}
+
+// Build constructs a dictionary over the dataset at a fixed rounding
+// depth without any tuning, for callers that already know the depth
+// (e.g. the Table 4 example uses depth 2).
+func Build(ds *dataset.Dataset, cfg Config) (*Dictionary, error) {
+	return build(ds, FitConfig{Metrics: cfg.Metrics, Windows: cfg.Windows, Joint: cfg.Joint}, cfg.Depth)
+}
+
+// Classify recognizes every execution of the dataset and pairs the
+// predicted application with the ground-truth application name. The
+// correctness criterion follows the paper: only the application name is
+// compared, so returning ft for an ft execution with a different input
+// size is correct.
+func Classify(d *Dictionary, ds *dataset.Dataset) []eval.Pair {
+	pairs := make([]eval.Pair, 0, ds.Len())
+	for _, e := range ds.Executions {
+		res := d.Recognize(Source(e))
+		pairs = append(pairs, eval.Pair{Truth: e.Label.App, Pred: res.Top()})
+	}
+	return pairs
+}

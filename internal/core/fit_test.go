@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/telemetry"
+)
+
+// smallDataset generates a fast labelled dataset shared by fit tests.
+func smallDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultGenConfig()
+	cfg.Apps = []string{"ft", "mg", "sp", "bt", "miniAMR"}
+	cfg.Repeats = 8
+	cfg.Cluster.Metrics = []string{apps.HeadlineMetric}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFitSelectsResolvingDepth(t *testing.T) {
+	ds := smallDataset(t)
+	d, rep, err := Fit(ds, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With SP and BT in the mix, depth 2 collides; cross-validation
+	// must land on a depth that resolves them (the paper reports
+	// depth 3 does).
+	if rep.BestDepth < 3 {
+		t.Errorf("BestDepth = %d, want >= 3 (SP/BT collide below)", rep.BestDepth)
+	}
+	if rep.DepthScores[rep.BestDepth] < rep.DepthScores[2] {
+		t.Error("best depth should score at least as well as depth 2")
+	}
+	if rep.Folds < 2 {
+		t.Errorf("Folds = %d", rep.Folds)
+	}
+	if d.Len() == 0 {
+		t.Error("fitted dictionary is empty")
+	}
+	// Self-classification should be near perfect.
+	pairs := Classify(d, ds)
+	if f := eval.F1Macro(pairs); f < 0.95 {
+		t.Errorf("training-set F1 = %v, want >= 0.95", f)
+	}
+}
+
+func TestFitEmptyTrainingSet(t *testing.T) {
+	if _, _, err := Fit(&dataset.Dataset{}, DefaultFitConfig()); err == nil {
+		t.Error("empty training set should fail")
+	}
+}
+
+func TestFitTinyTrainingSetFallsBack(t *testing.T) {
+	ds := smallDataset(t)
+	// One execution per label: cross-validation impossible.
+	seen := make(map[apps.Label]bool)
+	tiny := ds.Filter(func(e *dataset.Execution) bool {
+		if seen[e.Label] {
+			return false
+		}
+		seen[e.Label] = true
+		return true
+	})
+	d, rep, err := Fit(tiny, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Folds != 0 {
+		t.Errorf("expected CV fallback, got Folds=%d", rep.Folds)
+	}
+	if rep.BestDepth < 1 {
+		t.Errorf("fallback depth = %d", rep.BestDepth)
+	}
+	if d.Len() == 0 {
+		t.Error("dictionary empty after fallback fit")
+	}
+}
+
+func TestFitRestrictedDepths(t *testing.T) {
+	ds := smallDataset(t)
+	cfg := DefaultFitConfig()
+	cfg.Depths = []int{2}
+	_, rep, err := Fit(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestDepth != 2 {
+		t.Errorf("BestDepth = %d, want 2 (only candidate)", rep.BestDepth)
+	}
+}
+
+func TestBuildFixedDepth(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := Build(ds, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config().Depth != 2 {
+		t.Errorf("Depth = %d", d.Config().Depth)
+	}
+	// At depth 2 the sp/bt keys must collide somewhere.
+	if d.Stats().Collisions == 0 {
+		t.Error("expected SP/BT collisions at depth 2")
+	}
+}
+
+func TestClassifyTruthIsAppName(t *testing.T) {
+	ds := smallDataset(t)
+	d, _, err := Fit(ds, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := Classify(d, ds)
+	if len(pairs) != ds.Len() {
+		t.Fatalf("pairs = %d, want %d", len(pairs), ds.Len())
+	}
+	for i, p := range pairs {
+		if p.Truth != ds.Executions[i].Label.App {
+			t.Fatalf("pair %d truth %q, want app name %q", i, p.Truth, ds.Executions[i].Label.App)
+		}
+	}
+}
+
+func TestSourceAdapter(t *testing.T) {
+	ds := smallDataset(t)
+	e := ds.Executions[0]
+	src := Source(e)
+	if src.NodeCount() != e.NumNodes {
+		t.Errorf("NodeCount = %d", src.NodeCount())
+	}
+	v1, ok1 := src.WindowMean(apps.HeadlineMetric, 0, telemetry.PaperWindow)
+	v2, ok2 := e.WindowMean(apps.HeadlineMetric, 0, telemetry.PaperWindow)
+	if ok1 != ok2 || v1 != v2 {
+		t.Error("Source adapter does not delegate")
+	}
+}
+
+// Property: anything learned is recognized — an execution whose
+// fingerprints were all added under label L yields L (or a tie
+// containing L) when recognized immediately.
+func TestLearnThenRecognizeProperty(t *testing.T) {
+	f := func(rawMeans []uint16, appSel uint8) bool {
+		if len(rawMeans) == 0 {
+			return true
+		}
+		if len(rawMeans) > 8 {
+			rawMeans = rawMeans[:8]
+		}
+		names := []string{"ft", "mg", "cg"}
+		label := apps.Label{App: names[int(appSel)%3], Input: apps.InputX}
+		d, err := NewDictionary(paperCfg(3))
+		if err != nil {
+			return false
+		}
+		means := make([]float64, len(rawMeans))
+		for i, m := range rawMeans {
+			means[i] = float64(m) + 0.5
+		}
+		src := srcWith(len(means), apps.HeadlineMetric, means...)
+		d.Learn(src, label)
+		res := d.Recognize(src)
+		for _, a := range res.Apps {
+			if a == label.App {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recognition votes never exceed the number of constructed
+// fingerprints, and Matched <= Total.
+func TestVoteBoundsProperty(t *testing.T) {
+	ds := smallDataset(t)
+	d, _, err := Fit(ds, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ds.Executions {
+		res := d.Recognize(Source(e))
+		if res.Matched > res.Total {
+			t.Fatalf("Matched %d > Total %d", res.Matched, res.Total)
+		}
+		for app, v := range res.Votes {
+			if v > res.Matched {
+				t.Fatalf("votes for %s (%d) exceed matched keys (%d)", app, v, res.Matched)
+			}
+		}
+	}
+}

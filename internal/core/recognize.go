@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/apps"
+)
+
+// Unknown is the class name reported when no fingerprint of an
+// execution matches the dictionary — the EFD's in-built safeguard
+// against unknown applications (§5).
+const Unknown = "unknown"
+
+// Result is the outcome of recognizing one execution.
+type Result struct {
+	// Apps lists the most-matched application names. One element is
+	// the normal case; several indicate a tie the dictionary cannot
+	// break (e.g. SP/BT at rounding depth 2). Empty means no
+	// fingerprint matched.
+	Apps []string
+	// Votes counts dictionary matches per application name.
+	Votes map[string]int
+	// Inputs counts matches per full label, for input-size estimation.
+	Inputs map[apps.Label]int
+	// Matched and Total count the execution's fingerprints that hit
+	// the dictionary versus all constructed fingerprints.
+	Matched int
+	Total   int
+}
+
+// Recognized reports whether any fingerprint matched.
+func (r Result) Recognized() bool { return len(r.Apps) > 0 }
+
+// Top returns the first (tie-broken) application name, or Unknown when
+// nothing matched. The paper evaluates exactly this value.
+func (r Result) Top() string {
+	if len(r.Apps) == 0 {
+		return Unknown
+	}
+	return r.Apps[0]
+}
+
+// Confidence is the fraction of constructed fingerprints that voted for
+// the top application. It is not part of the paper's mechanism but is
+// useful for monitoring dashboards.
+func (r Result) Confidence() float64 {
+	if r.Total == 0 || len(r.Apps) == 0 {
+		return 0
+	}
+	c := float64(r.Votes[r.Apps[0]]) / float64(r.Total)
+	if c > 1 {
+		// Weighted voting can push the top vote count past the
+		// fingerprint count; full confidence is the ceiling.
+		c = 1
+	}
+	return c
+}
+
+// Recognize looks up every fingerprint of the execution and returns the
+// most-matched application name(s). Each matched key contributes one
+// vote to every application present in its label set; the application
+// with the most votes wins. Ties are returned in learning order, so the
+// caller can still "consider the first application name in the array"
+// as the paper does.
+func (d *Dictionary) Recognize(src WindowSource) Result {
+	return d.recognize(src, false)
+}
+
+// RecognizeWeighted is a variant of Recognize in which each matched key
+// contributes its per-application observation count rather than a
+// single vote, so frequently repeated fingerprints outweigh one-off
+// noise keys. This is an extension beyond the paper (which votes
+// uniformly); the voting ablation compares the two.
+func (d *Dictionary) RecognizeWeighted(src WindowSource) Result {
+	return d.recognize(src, true)
+}
+
+func (d *Dictionary) recognize(src WindowSource, weighted bool) Result {
+	fps := Extract(src, d.cfg)
+	res := Result{
+		Votes:  make(map[string]int),
+		Inputs: make(map[apps.Label]int),
+		Total:  len(fps),
+	}
+	for _, fp := range fps {
+		e, ok := d.entries[fp]
+		if !ok || len(e.labels) == 0 {
+			continue
+		}
+		res.Matched++
+		// A key may store several inputs of one application (e.g.
+		// ft_X, ft_Y, ft_Z); the application still gets a single vote
+		// per matched key (or its maximum label count when weighted).
+		appWeight := make(map[string]int)
+		for _, l := range e.labels {
+			w := 1
+			if weighted {
+				w = e.counts[l]
+				res.Inputs[l] += w
+			} else {
+				res.Inputs[l]++
+			}
+			if w > appWeight[l.App] {
+				appWeight[l.App] = w
+			}
+		}
+		for app, w := range appWeight {
+			res.Votes[app] += w
+		}
+	}
+	if res.Matched == 0 {
+		return res
+	}
+	best := 0
+	for _, v := range res.Votes {
+		if v > best {
+			best = v
+		}
+	}
+	for app, v := range res.Votes {
+		if v == best {
+			res.Apps = append(res.Apps, app)
+		}
+	}
+	sort.Slice(res.Apps, func(i, j int) bool {
+		return d.appOrder[res.Apps[i]] < d.appOrder[res.Apps[j]]
+	})
+	return res
+}
+
+// PredictUsage performs the paper's "dictionary in reverse" (§6):
+// given an application name, it returns the stored fingerprints of that
+// application grouped by metric and window — the resource usage one
+// should expect from a future execution. Entries are sorted as in
+// Entries().
+func (d *Dictionary) PredictUsage(app string) []Entry {
+	var out []Entry
+	for _, e := range d.Entries() {
+		for _, l := range e.Labels {
+			if l.App == app {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PredictUsageForLabel restricts PredictUsage to one (application,
+// input) pair.
+func (d *Dictionary) PredictUsageForLabel(label apps.Label) []Entry {
+	var out []Entry
+	for _, e := range d.Entries() {
+		for _, l := range e.Labels {
+			if l == label {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Stream recognizes an execution online, as its telemetry arrives. It
+// accumulates window means incrementally (Welford accumulators, no
+// sample buffering) and can answer as soon as the latest-ending
+// configured window has closed — two minutes into the execution for the
+// paper's configuration. This is the low-latency deployment mode that
+// motivates the EFD over whole-execution ML pipelines.
+type Stream struct {
+	dict  *Dictionary
+	nodes int
+	acc   map[streamKey]*stats.Online
+	// horizon is the largest window end; recognition is final once
+	// telemetry at or beyond this offset has been fed.
+	horizon time.Duration
+	seen    time.Duration
+}
+
+type streamKey struct {
+	metric string
+	node   int
+	window string
+}
+
+// NewStream returns a streaming recognizer against the dictionary for
+// an execution on the given number of nodes.
+func NewStream(d *Dictionary, nodes int) *Stream {
+	s := &Stream{
+		dict:  d,
+		nodes: nodes,
+		acc:   make(map[streamKey]*stats.Online),
+	}
+	for _, w := range d.cfg.Windows {
+		if w.End > s.horizon {
+			s.horizon = w.End
+		}
+	}
+	return s
+}
+
+// Feed delivers one sample. Samples outside every configured window,
+// for unconfigured metrics, or for out-of-range nodes are ignored, so
+// the monitor can blindly forward its full stream.
+func (s *Stream) Feed(metric string, node int, offset time.Duration, value float64) {
+	if offset > s.seen {
+		s.seen = offset
+	}
+	if node < 0 || node >= s.nodes {
+		return
+	}
+	configured := false
+	for _, m := range s.dict.cfg.Metrics {
+		if m == metric {
+			configured = true
+			break
+		}
+	}
+	if !configured {
+		return
+	}
+	for _, w := range s.dict.cfg.Windows {
+		if !w.Contains(offset) {
+			continue
+		}
+		k := streamKey{metric: metric, node: node, window: w.String()}
+		acc, ok := s.acc[k]
+		if !ok {
+			acc = &stats.Online{}
+			s.acc[k] = acc
+		}
+		acc.Add(value)
+	}
+}
+
+// Complete reports whether every configured window has closed, i.e.
+// telemetry at or beyond the latest window end has been observed.
+func (s *Stream) Complete() bool { return s.seen >= s.horizon }
+
+// WindowMean implements WindowSource over the accumulated stream.
+func (s *Stream) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	acc, ok := s.acc[streamKey{metric: metric, node: node, window: w.String()}]
+	if !ok || acc.Count() == 0 {
+		return 0, false
+	}
+	return acc.Mean(), true
+}
+
+// NodeCount implements WindowSource.
+func (s *Stream) NodeCount() int { return s.nodes }
+
+// Recognize answers with the current accumulated state. Calling it
+// before Complete() returns a provisional answer based on partial
+// windows; once Complete(), the answer is identical to offline
+// recognition of the same telemetry.
+func (s *Stream) Recognize() Result {
+	return s.dict.Recognize(s)
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/telemetry"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := genSmall(t)
+	var buf bytes.Buffer
+	if err := ds.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("loaded %d executions, want %d", got.Len(), ds.Len())
+	}
+	if len(got.Windows) != len(ds.Windows) {
+		t.Fatalf("windows: %v vs %v", got.Windows, ds.Windows)
+	}
+	for i := range ds.Executions {
+		a, b := ds.Executions[i], got.Executions[i]
+		if a.ID != b.ID || a.Label != b.Label || a.NumNodes != b.NumNodes {
+			t.Fatalf("execution %d header differs", i)
+		}
+		for _, m := range a.Metrics() {
+			for node := 0; node < a.NumNodes; node++ {
+				va, oka := a.WindowMean(m, node, telemetry.PaperWindow)
+				vb, okb := b.WindowMean(m, node, telemetry.PaperWindow)
+				if oka != okb || va != vb {
+					t.Fatalf("window mean differs: exec %d %s node %d: %v vs %v",
+						a.ID, m, node, va, vb)
+				}
+				fa := a.Stats[m][node].Full
+				fb := b.Stats[m][node].Full
+				if fa != fb {
+					t.Fatalf("full summary differs: exec %d %s node %d:\n%+v\n%+v",
+						a.ID, m, node, fa, fb)
+				}
+			}
+		}
+	}
+	// Fingerprint-critical: loaded dataset must validate.
+	if err := got.Validate(); err != nil {
+		t.Errorf("loaded dataset invalid: %v", err)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b\n",
+		"exec_id,app,input,num_nodes,duration_s,metric,node,count,mean,std,min,max,skew,kurtosis,p5,p25,p50,p75,p95,bogus[60:120]\n",
+	}
+	for i, in := range cases {
+		if _, err := LoadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// A structurally valid header but a corrupt row.
+	header := "exec_id,app,input,num_nodes,duration_s,metric,node,count,mean,std,min,max,skew,kurtosis,p5,p25,p50,p75,p95,mean[60:120]\n"
+	rows := []string{
+		"x,ft,X,2,100,m,0,5,1,1,1,1,0,0,1,1,1,1,1,6000\n",  // bad id
+		"1,ft,X,2,100,m,9,5,1,1,1,1,0,0,1,1,1,1,1,6000\n",  // node out of range
+		"1,ft,X,2,100,m,0,xx,1,1,1,1,0,0,1,1,1,1,1,6000\n", // bad count
+		"1,ft,X,2,100,m,0,5,zz,1,1,1,0,0,1,1,1,1,1,6000\n", // bad mean
+		"1,ft,X,2,100,m,0,5,1,1,1,1,0,0,1,1,1,1,1,zz\n",    // bad window mean
+	}
+	for i, row := range rows {
+		if _, err := LoadCSV(strings.NewReader(header + row)); err == nil {
+			t.Errorf("row case %d should fail: %q", i, row)
+		}
+	}
+}
+
+func TestCSVEmptyCellsForMissingWindows(t *testing.T) {
+	// Executions shorter than a window leave the cell empty and load
+	// back as an absent mean.
+	header := "exec_id,app,input,num_nodes,duration_s,metric,node,count,mean,std,min,max,skew,kurtosis,p5,p25,p50,p75,p95,mean[60:120],mean[120:180]\n"
+	row := "3,ft,X,1,100,m,0,5,1,1,1,1,0,0,1,1,1,1,1,6000,\n"
+	ds, err := LoadCSV(strings.NewReader(header + row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ds.Executions[0]
+	if _, ok := e.WindowMean("m", 0, telemetry.PaperWindow); !ok {
+		t.Error("present window mean lost")
+	}
+	w2, _ := telemetry.ParseWindow("[120:180]")
+	if _, ok := e.WindowMean("m", 0, w2); ok {
+		t.Error("absent window mean materialized")
+	}
+	if e.Label.App != "ft" || e.Label.Input != apps.InputX {
+		t.Errorf("label = %v", e.Label)
+	}
+}

@@ -1,0 +1,332 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/noise"
+	"repro/internal/telemetry"
+)
+
+// smallConfig generates a fast dataset for tests: 3 apps, 2 metrics,
+// 6 repeats, 2 nodes.
+func smallConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Apps = []string{"ft", "mg", "miniAMR"}
+	cfg.Repeats = 6
+	cfg.Cluster.Nodes = 2
+	cfg.Cluster.Metrics = []string{apps.HeadlineMetric, "Committed_AS_meminfo"}
+	return cfg
+}
+
+func genSmall(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := genSmall(t)
+	// ft(3) + mg(3) + miniAMR(4) inputs × 6 repeats = 60 executions.
+	if ds.Len() != 60 {
+		t.Fatalf("Len = %d, want 60", ds.Len())
+	}
+	if got := len(ds.Labels()); got != 10 {
+		t.Errorf("labels = %d, want 10", got)
+	}
+	if got := ds.Apps(); len(got) != 3 {
+		t.Errorf("apps = %v", got)
+	}
+	if got := ds.Inputs(); len(got) != 4 {
+		t.Errorf("inputs = %v", got)
+	}
+	if got := ds.Metrics(); len(got) != 2 {
+		t.Errorf("metrics = %v", got)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	w := telemetry.PaperWindow
+	for i := range a.Executions {
+		ea, eb := a.Executions[i], b.Executions[i]
+		if ea.Label != eb.Label || ea.Duration != eb.Duration {
+			t.Fatalf("execution %d differs: %v vs %v", i, ea.Label, eb.Label)
+		}
+		va, oka := ea.WindowMean(apps.HeadlineMetric, 0, w)
+		vb, okb := eb.WindowMean(apps.HeadlineMetric, 0, w)
+		if oka != okb || va != vb {
+			t.Fatalf("execution %d window mean differs: %v vs %v", i, va, vb)
+		}
+	}
+}
+
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Parallel = true
+	par, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = false
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := telemetry.PaperWindow
+	for i := range par.Executions {
+		va, _ := par.Executions[i].WindowMean(apps.HeadlineMetric, 1, w)
+		vb, _ := seq.Executions[i].WindowMean(apps.HeadlineMetric, 1, w)
+		if va != vb {
+			t.Fatalf("parallel and sequential generation diverge at execution %d", i)
+		}
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Repeats = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero repeats should fail")
+	}
+	cfg = smallConfig()
+	cfg.Apps = []string{"nosuch"}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("unknown app should fail")
+	}
+	cfg = smallConfig()
+	cfg.Cluster.Metrics = []string{"nosuch_metric"}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("unknown metric should fail")
+	}
+}
+
+func TestWindowMeansPresent(t *testing.T) {
+	ds := genSmall(t)
+	for _, e := range ds.Executions {
+		for node := 0; node < e.NumNodes; node++ {
+			if _, ok := e.WindowMean(apps.HeadlineMetric, node, telemetry.PaperWindow); !ok {
+				t.Fatalf("execution %d node %d lacks the paper window mean", e.ID, node)
+			}
+		}
+		if _, ok := e.WindowMean(apps.HeadlineMetric, 99, telemetry.PaperWindow); ok {
+			t.Fatal("out-of-range node should report no mean")
+		}
+		if _, ok := e.WindowMean("nosuch", 0, telemetry.PaperWindow); ok {
+			t.Fatal("unknown metric should report no mean")
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	ds := genSmall(t)
+	noX := ds.WithoutInput(apps.InputX)
+	for _, e := range noX.Executions {
+		if e.Label.Input == apps.InputX {
+			t.Fatal("WithoutInput leaked an X execution")
+		}
+	}
+	onlyX := ds.OnlyInput(apps.InputX)
+	if onlyX.Len()+noX.Len() != ds.Len() {
+		t.Error("OnlyInput and WithoutInput should partition the dataset")
+	}
+	noFT := ds.WithoutApp("ft")
+	onlyFT := ds.OnlyApp("ft")
+	if onlyFT.Len() != 18 || noFT.Len() != 42 {
+		t.Errorf("app partition sizes: only=%d without=%d", onlyFT.Len(), noFT.Len())
+	}
+	for _, e := range onlyFT.Executions {
+		if e.Label.App != "ft" {
+			t.Fatal("OnlyApp leaked a non-ft execution")
+		}
+	}
+}
+
+func TestKFoldStratified(t *testing.T) {
+	ds := genSmall(t)
+	folds, err := ds.KFold(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := make(map[int]int)
+	for fi, f := range folds {
+		if len(f.Train)+len(f.Test) != ds.Len() {
+			t.Errorf("fold %d sizes: %d + %d != %d", fi, len(f.Train), len(f.Test), ds.Len())
+		}
+		// Stratification: each label appears 6 times → 2 per test fold.
+		perLabel := make(map[apps.Label]int)
+		for _, i := range f.Test {
+			perLabel[ds.Executions[i].Label]++
+			seen[i]++
+		}
+		for l, c := range perLabel {
+			if c != 2 {
+				t.Errorf("fold %d: label %v has %d test executions, want 2", fi, l, c)
+			}
+		}
+		// No overlap between train and test.
+		inTest := make(map[int]bool)
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatalf("fold %d: execution %d in both train and test", fi, i)
+			}
+		}
+	}
+	// Every execution is tested exactly once across folds.
+	for i := 0; i < ds.Len(); i++ {
+		if seen[i] != 1 {
+			t.Errorf("execution %d tested %d times", i, seen[i])
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	ds := genSmall(t)
+	if _, err := ds.KFold(1, 0); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := ds.KFold(7, 0); err == nil {
+		t.Error("k larger than smallest class should fail")
+	}
+}
+
+func TestKFoldDeterministicPerSeed(t *testing.T) {
+	ds := genSmall(t)
+	f := func(seed int64) bool {
+		a, err1 := ds.KFold(3, seed)
+		b, err2 := ds.KFold(3, seed)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if len(a[i].Test) != len(b[i].Test) {
+				return false
+			}
+			for j := range a[i].Test {
+				if a[i].Test[j] != b[i].Test[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := genSmall(t)
+	sub := ds.Subset([]int{0, 5, 9})
+	if sub.Len() != 3 {
+		t.Fatalf("Subset len = %d", sub.Len())
+	}
+	if sub.Executions[1] != ds.Executions[5] {
+		t.Error("Subset should share execution pointers")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ds := genSmall(t)
+	// Duplicate ID.
+	bad := &Dataset{Windows: ds.Windows, Executions: []*Execution{
+		ds.Executions[0], ds.Executions[0],
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate IDs should fail validation")
+	}
+	// Truncated node stats.
+	e := *ds.Executions[0]
+	e.ID = 99999
+	e.Stats = map[string][]NodeMetricStats{
+		apps.HeadlineMetric:    ds.Executions[0].Stats[apps.HeadlineMetric][:1],
+		"Committed_AS_meminfo": ds.Executions[0].Stats["Committed_AS_meminfo"],
+	}
+	bad2 := &Dataset{Executions: []*Execution{&e}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("truncated node stats should fail validation")
+	}
+}
+
+func TestSummarizeFromNodeSet(t *testing.T) {
+	sim, err := cluster.New(cluster.Config{
+		Nodes:   2,
+		Noise:   noise.QuietProfile(),
+		Metrics: []string{apps.HeadlineMetric},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := apps.Lookup("ft")
+	rng := rand.New(rand.NewSource(3))
+	ns, _, err := sim.Run(spec, apps.InputX, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Summarize(7, apps.Label{App: "ft", Input: apps.InputX}, ns, DefaultWindows())
+	if e.ID != 7 || e.NumNodes != 2 {
+		t.Fatalf("Summarize header wrong: %+v", e)
+	}
+	mean, ok := e.WindowMean(apps.HeadlineMetric, 0, telemetry.PaperWindow)
+	if !ok {
+		t.Fatal("missing window mean")
+	}
+	// Quiet profile: the mean must sit near the modelled 6000 level.
+	if mean < 5800 || mean > 6300 {
+		t.Errorf("ft window mean = %v, want ≈ 6000", mean)
+	}
+	full := e.Stats[apps.HeadlineMetric][0].Full
+	if full.Count < int(e.Duration/time.Second) {
+		t.Errorf("full summary count %d too small for duration %v", full.Count, e.Duration)
+	}
+	// The init transient makes the early window mean exceed the steady
+	// window mean.
+	early, ok := e.WindowMean(apps.HeadlineMetric, 0, telemetry.Window{Start: 0, End: 60 * time.Second})
+	if !ok {
+		t.Fatal("missing early window mean")
+	}
+	if early <= mean {
+		t.Errorf("init transient should raise the early mean: early=%v steady=%v", early, mean)
+	}
+}
+
+func TestDefaultWindowsContainPaperWindow(t *testing.T) {
+	found := false
+	for _, w := range DefaultWindows() {
+		if w == telemetry.PaperWindow {
+			found = true
+		}
+		if !w.Valid() {
+			t.Errorf("invalid default window %v", w)
+		}
+	}
+	if !found {
+		t.Error("DefaultWindows must include the paper window")
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// NormalFold runs protocol 1: 5-fold cross-validation on the full
+// dataset — every application and input size appears in both learning
+// and testing.
+func (h *Harness) NormalFold() (Score, error) {
+	s := Score{Protocol: "normal fold"}
+	var efd, taxo []eval.Pair
+	err := h.foldRun(func(train, test *dataset.Dataset) error {
+		p, err := h.efdPairs(train, test, nil)
+		if err != nil {
+			return err
+		}
+		efd = append(efd, p...)
+		if h.Taxo != nil {
+			tp, err := h.taxoPairs(train, test, nil)
+			if err != nil {
+				return err
+			}
+			taxo = append(taxo, tp...)
+		}
+		return nil
+	})
+	if err != nil {
+		return s, err
+	}
+	s.Report, err = eval.Evaluate(efd)
+	if err != nil {
+		return s, err
+	}
+	s.EFD = s.Report.MacroF1
+	if h.Taxo != nil {
+		s.Taxonomist = eval.F1Macro(taxo)
+		s.HasTaxonomist = true
+	}
+	return s, nil
+}
+
+// SoftInput runs protocol 2: it extends the normal fold by removing one
+// input size from each fold's learning set while testing sets stay the
+// same. Recognition by application name still counts as correct (e.g.
+// returning ft_X for an ft_Y execution), so the protocol measures
+// whether fingerprints generalize across input sizes. Results are
+// averaged over the removed inputs.
+func (h *Harness) SoftInput() (Score, error) {
+	s := Score{Protocol: "soft input", PerDimension: make(map[string]float64)}
+	var allEFD, allTaxo []eval.Pair
+	for _, in := range h.removableInputs() {
+		var efd, taxo []eval.Pair
+		err := h.foldRun(func(train, test *dataset.Dataset) error {
+			p, err := h.efdPairs(train.WithoutInput(in), test, nil)
+			if err != nil {
+				return err
+			}
+			efd = append(efd, p...)
+			if h.Taxo != nil {
+				tp, err := h.taxoPairs(train.WithoutInput(in), test, nil)
+				if err != nil {
+					return err
+				}
+				taxo = append(taxo, tp...)
+			}
+			return nil
+		})
+		if err != nil {
+			return s, err
+		}
+		s.PerDimension[string(in)] = eval.F1Macro(efd)
+		allEFD = append(allEFD, efd...)
+		allTaxo = append(allTaxo, taxo...)
+	}
+	s.EFD = meanOf(s.PerDimension)
+	var err error
+	s.Report, err = eval.Evaluate(allEFD)
+	if err != nil {
+		return s, err
+	}
+	if h.Taxo != nil {
+		s.Taxonomist = eval.F1Macro(allTaxo)
+		s.HasTaxonomist = true
+	}
+	return s, nil
+}
+
+// SoftUnknown runs protocol 3: it extends the normal fold by removing
+// one application from each fold's learning set while testing sets stay
+// the same. The removed application's executions should find no match —
+// predicting "unknown" for them is the correct outcome. Results are
+// averaged over the removed applications.
+func (h *Harness) SoftUnknown() (Score, error) {
+	s := Score{Protocol: "soft unknown", PerDimension: make(map[string]float64)}
+	var allEFD, allTaxo []eval.Pair
+	for _, app := range h.DS.Apps() {
+		unknown := map[string]bool{app: true}
+		var efd, taxo []eval.Pair
+		err := h.foldRun(func(train, test *dataset.Dataset) error {
+			p, err := h.efdPairs(train.WithoutApp(app), test, unknown)
+			if err != nil {
+				return err
+			}
+			efd = append(efd, p...)
+			if h.Taxo != nil {
+				tp, err := h.taxoPairs(train.WithoutApp(app), test, unknown)
+				if err != nil {
+					return err
+				}
+				taxo = append(taxo, tp...)
+			}
+			return nil
+		})
+		if err != nil {
+			return s, err
+		}
+		s.PerDimension[app] = eval.F1Macro(efd)
+		allEFD = append(allEFD, efd...)
+		allTaxo = append(allTaxo, taxo...)
+	}
+	s.EFD = meanOf(s.PerDimension)
+	var err error
+	s.Report, err = eval.Evaluate(allEFD)
+	if err != nil {
+		return s, err
+	}
+	if h.Taxo != nil {
+		s.Taxonomist = eval.F1Macro(allTaxo)
+		s.HasTaxonomist = true
+	}
+	return s, nil
+}
+
+// HardInput runs protocol 4: the learning set contains all input sizes
+// but one, and the testing set contains exclusively the held-out input
+// size. The Taxonomist paper did not conduct this experiment. Results
+// are averaged over the held-out inputs.
+func (h *Harness) HardInput() (Score, error) {
+	s := Score{Protocol: "hard input", PerDimension: make(map[string]float64)}
+	var all []eval.Pair
+	for _, in := range h.removableInputs() {
+		train := h.DS.WithoutInput(in)
+		test := h.DS.OnlyInput(in)
+		if train.Len() == 0 || test.Len() == 0 {
+			return s, fmt.Errorf("experiments: hard input %s yields an empty split", in)
+		}
+		pairs, err := h.efdPairs(train, test, nil)
+		if err != nil {
+			return s, err
+		}
+		s.PerDimension[string(in)] = eval.F1Macro(pairs)
+		all = append(all, pairs...)
+	}
+	s.EFD = meanOf(s.PerDimension)
+	var err error
+	s.Report, err = eval.Evaluate(all)
+	return s, err
+}
+
+// HardUnknown runs protocol 5: the learning set contains all
+// applications but one, and the testing set contains exclusively the
+// held-out application. Finding no matching fingerprint — predicting
+// "unknown" — is the correct outcome for every test execution. The
+// Taxonomist paper did not conduct this experiment. Results are
+// averaged over the held-out applications.
+func (h *Harness) HardUnknown() (Score, error) {
+	s := Score{Protocol: "hard unknown", PerDimension: make(map[string]float64)}
+	var all []eval.Pair
+	for _, app := range h.DS.Apps() {
+		train := h.DS.WithoutApp(app)
+		test := h.DS.OnlyApp(app)
+		if train.Len() == 0 || test.Len() == 0 {
+			return s, fmt.Errorf("experiments: hard unknown %s yields an empty split", app)
+		}
+		pairs, err := h.efdPairs(train, test, map[string]bool{app: true})
+		if err != nil {
+			return s, err
+		}
+		s.PerDimension[app] = eval.F1Macro(pairs)
+		all = append(all, pairs...)
+	}
+	s.EFD = meanOf(s.PerDimension)
+	var err error
+	s.Report, err = eval.Evaluate(all)
+	return s, err
+}
+
+// RunAll executes the five protocols in the paper's order.
+func (h *Harness) RunAll() ([]Score, error) {
+	type runner struct {
+		name string
+		fn   func() (Score, error)
+	}
+	runners := []runner{
+		{"normal fold", h.NormalFold},
+		{"soft input", h.SoftInput},
+		{"soft unknown", h.SoftUnknown},
+		{"hard input", h.HardInput},
+		{"hard unknown", h.HardUnknown},
+	}
+	out := make([]Score, 0, len(runners))
+	for _, r := range runners {
+		s, err := r.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.name, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

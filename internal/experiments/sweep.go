@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// MetricScore is one row of Table 3: a system metric and its
+// normal-fold F-score when used as the EFD's single metric.
+type MetricScore struct {
+	Metric string
+	FScore float64
+	// Depth is the rounding depth cross-validation selected most often
+	// across folds.
+	Depth int
+}
+
+// MetricSweep evaluates every listed metric individually under the
+// normal-fold protocol, reproducing Table 3. Metrics are evaluated
+// concurrently; rows come back sorted by descending F-score, ties by
+// name, the order the paper lists them in.
+func (h *Harness) MetricSweep(metrics []string) ([]MetricScore, error) {
+	if metrics == nil {
+		metrics = h.DS.Metrics()
+	}
+	folds, err := h.DS.KFold(h.Folds, h.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MetricScore, len(metrics))
+	errs := make([]error, len(metrics))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, metric := range metrics {
+		wg.Add(1)
+		go func(i int, metric string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fit := h.Fit
+			fit.Metrics = []string{metric}
+			var pairs []eval.Pair
+			depthVotes := make(map[int]int)
+			for _, f := range folds {
+				d, rep, err := core.Fit(h.DS.Subset(f.Train), fit)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				depthVotes[rep.BestDepth]++
+				pairs = append(pairs, core.Classify(d, h.DS.Subset(f.Test))...)
+			}
+			best, bestVotes := 0, -1
+			for depth, v := range depthVotes {
+				if v > bestVotes || (v == bestVotes && depth < best) {
+					best, bestVotes = depth, v
+				}
+			}
+			out[i] = MetricScore{Metric: metric, FScore: eval.F1Macro(pairs), Depth: best}
+		}(i, metric)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].FScore != out[b].FScore {
+			return out[a].FScore > out[b].FScore
+		}
+		return out[a].Metric < out[b].Metric
+	})
+	return out, nil
+}
+
+// ExampleDictionary reproduces Table 4: a dictionary built from a
+// subset of applications and input sizes at a fixed rounding depth 2,
+// on the headline metric.
+func ExampleDictionary(ds *dataset.Dataset) (*core.Dictionary, error) {
+	subset := map[string]bool{
+		"ft": true, "mg": true, "sp": true, "bt": true,
+		"lu": true, "miniGhost": true, "miniAMR": true,
+	}
+	sub := ds.Filter(func(e *dataset.Execution) bool {
+		return subset[e.Label.App] && e.Label.Input != "L"
+	})
+	return core.Build(sub, core.DefaultConfig(2))
+}

@@ -1,0 +1,118 @@
+package ldms
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// WriteNodeCSV writes one node's telemetry in the per-node CSV layout
+// of the Taxonomist artifact: a "#Time" column of seconds since
+// execution start followed by one column per metric, one row per
+// sampling tick. Metrics are ordered alphabetically; series are assumed
+// to share the 1 Hz grid (the collector's output does).
+func WriteNodeCSV(w io.Writer, ns *telemetry.NodeSet, node int) error {
+	metrics := ns.Metrics()
+	if len(metrics) == 0 {
+		return fmt.Errorf("ldms: node set has no metrics")
+	}
+	series := make([]*telemetry.Series, len(metrics))
+	rows := 0
+	for i, m := range metrics {
+		s := ns.Get(node, m)
+		if s == nil {
+			return fmt.Errorf("ldms: node %d has no series for %q", node, m)
+		}
+		series[i] = s
+		if i == 0 {
+			rows = s.Len()
+		} else if s.Len() != rows {
+			return fmt.Errorf("ldms: node %d series %q has %d samples, expected %d",
+				node, m, s.Len(), rows)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"#Time"}, metrics...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for r := 0; r < rows; r++ {
+		rec[0] = strconv.FormatFloat(series[0].Samples[r].Offset.Seconds(), 'f', 1, 64)
+		for i, s := range series {
+			rec[i+1] = strconv.FormatFloat(s.Samples[r].Value, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadNodeCSV parses a per-node CSV written by WriteNodeCSV back into
+// series for the given node, returned inside a fresh NodeSet.
+func ReadNodeCSV(r io.Reader, node int) (*telemetry.NodeSet, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ldms: read CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "#Time" {
+		return nil, fmt.Errorf("ldms: bad CSV header %v", header)
+	}
+	metrics := header[1:]
+	series := make([]*telemetry.Series, len(metrics))
+	for i, m := range metrics {
+		series[i] = telemetry.NewSeries(m, node, 0)
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ldms: read CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("ldms: CSV line %d has %d fields, want %d",
+				line, len(rec), len(header))
+		}
+		secs, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ldms: CSV line %d time: %w", line, err)
+		}
+		offset := time.Duration(secs * float64(time.Second))
+		for i := range metrics {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("ldms: CSV line %d field %s: %w", line, metrics[i], err)
+			}
+			series[i].Append(offset, v)
+		}
+	}
+	ns := telemetry.NewNodeSet()
+	for _, s := range series {
+		ns.Put(s)
+	}
+	return ns, nil
+}
+
+// WriteExecutionCSV writes every node of an execution through w,
+// separated per node by a comment line "# node N". It is a single-file
+// convenience over WriteNodeCSV for tooling.
+func WriteExecutionCSV(w io.Writer, ns *telemetry.NodeSet) error {
+	for _, node := range ns.Nodes() {
+		if _, err := fmt.Fprintf(w, "# node %d\n", node); err != nil {
+			return err
+		}
+		if err := WriteNodeCSV(w, ns, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+// Package server exposes a trained Execution Fingerprint Dictionary as
+// a small HTTP monitoring service — the deployment shape the paper's
+// MODA context implies: an LDMS aggregator forwards per-node samples of
+// running jobs, operators query recognition results two minutes into
+// each job, and completed jobs can be labelled back into the dictionary
+// ("learning new applications is as simple as adding new keys", §6).
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                     liveness
+//	GET  /v1/dictionary               dictionary statistics
+//	POST /v1/jobs                     register a job {job_id, nodes}
+//	POST /v1/samples                  feed samples {job_id, samples:[{metric,node,offset_s,value}]}
+//	GET  /v1/jobs/{id}                recognition state of a job
+//	POST /v1/jobs/{id}/label          learn a finished job {app, input}
+//	DELETE /v1/jobs/{id}              forget a job's stream
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Server is the HTTP monitoring service. It is safe for concurrent
+// use.
+type Server struct {
+	mu   sync.Mutex
+	dict *core.Dictionary
+	jobs map[string]*job
+
+	// MaxJobs bounds the number of concurrently tracked jobs
+	// (default 4096); registration beyond it is rejected.
+	MaxJobs int
+}
+
+type job struct {
+	stream *core.Stream
+	nodes  int
+}
+
+// New returns a service over the dictionary.
+func New(dict *core.Dictionary) *Server {
+	return &Server{dict: dict, jobs: make(map[string]*job), MaxJobs: 4096}
+}
+
+// Handler returns the HTTP handler of the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/dictionary", s.handleDictionary)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/samples", s.handleSamples)
+	return mux
+}
+
+// --- wire types -------------------------------------------------------
+
+type registerRequest struct {
+	JobID string `json:"job_id"`
+	Nodes int    `json:"nodes"`
+}
+
+type sampleBatch struct {
+	JobID   string       `json:"job_id"`
+	Samples []wireSample `json:"samples"`
+}
+
+type wireSample struct {
+	Metric  string  `json:"metric"`
+	Node    int     `json:"node"`
+	OffsetS float64 `json:"offset_s"`
+	Value   float64 `json:"value"`
+}
+
+type jobState struct {
+	JobID      string         `json:"job_id"`
+	Complete   bool           `json:"complete"`
+	Recognized bool           `json:"recognized"`
+	Top        string         `json:"top"`
+	Apps       []string       `json:"apps,omitempty"`
+	Votes      map[string]int `json:"votes,omitempty"`
+	Confidence float64        `json:"confidence"`
+	Matched    int            `json:"matched"`
+	Total      int            `json:"total"`
+}
+
+type labelRequest struct {
+	App   string `json:"app"`
+	Input string `json:"input"`
+}
+
+type dictState struct {
+	Keys       int      `json:"keys"`
+	Exclusive  int      `json:"exclusive"`
+	Collisions int      `json:"collisions"`
+	Labels     int      `json:"labels"`
+	Depth      int      `json:"depth"`
+	Apps       []string `json:"apps"`
+	LiveJobs   int      `json:"live_jobs"`
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleDictionary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	st := s.dict.Stats()
+	out := dictState{
+		Keys: st.Keys, Exclusive: st.Exclusive, Collisions: st.Collisions,
+		Labels: st.Labels, Depth: st.Depth, Apps: s.dict.Apps(),
+		LiveJobs: len(s.jobs),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.JobID == "" || req.Nodes <= 0 {
+		httpError(w, http.StatusBadRequest, "job_id and positive nodes required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.jobs[req.JobID]; exists {
+		httpError(w, http.StatusConflict, "job %q already registered", req.JobID)
+		return
+	}
+	if len(s.jobs) >= s.MaxJobs {
+		httpError(w, http.StatusTooManyRequests, "job table full (%d)", s.MaxJobs)
+		return
+	}
+	s.jobs[req.JobID] = &job{stream: core.NewStream(s.dict, req.Nodes), nodes: req.Nodes}
+	writeJSON(w, http.StatusCreated, map[string]string{"job_id": req.JobID})
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var batch sampleBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[batch.JobID]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", batch.JobID)
+		return
+	}
+	for _, smp := range batch.Samples {
+		offset := time.Duration(smp.OffsetS * float64(time.Second))
+		j.stream.Feed(smp.Metric, smp.Node, offset, smp.Value)
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch.Samples)})
+}
+
+// handleJob dispatches /v1/jobs/{id} and /v1/jobs/{id}/label.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if rest == "" {
+		httpError(w, http.StatusNotFound, "missing job id")
+		return
+	}
+	if strings.HasSuffix(rest, "/label") {
+		s.handleLabel(w, r, strings.TrimSuffix(rest, "/label"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleResult(w, rest)
+	case http.MethodDelete:
+		s.handleDelete(w, rest)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE")
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	res := j.stream.Recognize()
+	writeJSON(w, http.StatusOK, jobState{
+		JobID:      id,
+		Complete:   j.stream.Complete(),
+		Recognized: res.Recognized(),
+		Top:        res.Top(),
+		Apps:       res.Apps,
+		Votes:      res.Votes,
+		Confidence: res.Confidence(),
+		Matched:    res.Matched,
+		Total:      res.Total,
+	})
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req labelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	label, err := apps.ParseLabel(req.App + "_" + req.Input)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad label: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !j.stream.Complete() {
+		httpError(w, http.StatusConflict, "job %q has not covered the fingerprint window yet", id)
+		return
+	}
+	// Online learning: insert the completed stream's fingerprints.
+	s.dict.Learn(j.stream, label)
+	delete(s.jobs, id)
+	writeJSON(w, http.StatusOK, map[string]string{"learned": label.String()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	delete(s.jobs, id)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// --- helpers ----------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

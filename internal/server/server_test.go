@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// trainedDict builds a dictionary with ft at 6000 and mg at 7000 across
+// two nodes.
+func trainedDict(t *testing.T) *core.Dictionary {
+	t.Helper()
+	d, err := core.NewDictionary(core.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	learn := func(app string, level float64) {
+		src := fixedSource{nodes: 2, level: level}
+		d.Learn(src, apps.Label{App: app, Input: apps.InputX})
+	}
+	learn("ft", 6000)
+	learn("mg", 7000)
+	return d
+}
+
+type fixedSource struct {
+	nodes int
+	level float64
+}
+
+func (f fixedSource) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	if metric != apps.HeadlineMetric || node >= f.nodes {
+		return 0, false
+	}
+	return f.level, true
+}
+
+func (f fixedSource) NodeCount() int { return f.nodes }
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(trainedDict(t))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decode(t, resp)
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decode(t, resp)
+}
+
+func decode(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return m
+}
+
+// feed streams a constant level into a registered job over the window.
+func feed(t *testing.T, url, jobID string, level float64, upToS int) {
+	t.Helper()
+	var samples []wireSample
+	for sec := 0; sec <= upToS; sec++ {
+		for node := 0; node < 2; node++ {
+			samples = append(samples, wireSample{
+				Metric: apps.HeadlineMetric, Node: node,
+				OffsetS: float64(sec), Value: level,
+			})
+		}
+	}
+	resp, body := post(t, url+"/v1/samples", sampleBatch{JobID: jobID, Samples: samples})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("samples rejected: %v %v", resp.Status, body)
+	}
+}
+
+func TestHealthAndDictionary(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health: %v %v", resp.Status, body)
+	}
+	resp, body = get(t, ts.URL+"/v1/dictionary")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dictionary: %v", resp.Status)
+	}
+	if body["keys"].(float64) != 4 { // 2 apps × 2 nodes
+		t.Errorf("keys = %v", body["keys"])
+	}
+	if body["depth"].(float64) != 2 {
+		t.Errorf("depth = %v", body["depth"])
+	}
+}
+
+func TestRecognitionFlow(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "j1", Nodes: 2})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v", resp.Status)
+	}
+	// Early query: nothing recognized yet.
+	resp, body := get(t, ts.URL+"/v1/jobs/j1")
+	if resp.StatusCode != http.StatusOK || body["recognized"].(bool) {
+		t.Fatalf("fresh job state: %v %v", resp.Status, body)
+	}
+	feed(t, ts.URL, "j1", 6010, 125)
+	resp, body = get(t, ts.URL+"/v1/jobs/j1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %v", resp.Status)
+	}
+	if body["top"] != "ft" || !body["complete"].(bool) {
+		t.Fatalf("recognition state: %v", body)
+	}
+	if body["confidence"].(float64) != 1 {
+		t.Errorf("confidence = %v", body["confidence"])
+	}
+}
+
+func TestOnlineLearning(t *testing.T) {
+	s, ts := newTestServer(t)
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "new", Nodes: 2})
+	feed(t, ts.URL, "new", 9000, 125) // a level no known app uses
+
+	// Labelling before completion is rejected — make a second job to
+	// check that path first.
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "early", Nodes: 2})
+	resp, _ := post(t, ts.URL+"/v1/jobs/early/label", labelRequest{App: "x", Input: "X"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early label: %v", resp.Status)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/jobs/new/label", labelRequest{App: "lammps", Input: "X"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("label: %v %v", resp.Status, body)
+	}
+	// The dictionary now recognizes the new application.
+	res := s.dict.Recognize(fixedSource{nodes: 2, level: 9000})
+	if res.Top() != "lammps" {
+		t.Fatalf("online-learned app not recognized: %+v", res)
+	}
+	// The job was consumed.
+	resp, _ = get(t, ts.URL+"/v1/jobs/new")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("labelled job should be gone: %v", resp.Status)
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	s, ts := newTestServer(t)
+	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "", Nodes: 2}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty id: %v", resp.Status)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "a", Nodes: 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero nodes: %v", resp.Status)
+	}
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "dup", Nodes: 1})
+	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "dup", Nodes: 1}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate: %v", resp.Status)
+	}
+	s.MaxJobs = 2 // "dup" and one more
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "fill", Nodes: 1})
+	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "over", Nodes: 1}); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over capacity: %v", resp.Status)
+	}
+}
+
+func TestSampleAndQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, _ := post(t, ts.URL+"/v1/samples", sampleBatch{JobID: "ghost"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("samples for unknown job: %v", resp.Status)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/ghost"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: %v", resp.Status)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/ghost", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("delete unknown: %v", resp.Status)
+	}
+	// Bad JSON bodies.
+	r, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: %v", r.Status)
+	}
+}
+
+func TestDeleteJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "tmp", Nodes: 1})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/tmp", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %v", resp.Status)
+	}
+	if r, _ := get(t, ts.URL+"/v1/jobs/tmp"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("job survived deletion: %v", r.Status)
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/v1/dictionary"},
+		{http.MethodGet, "/v1/samples"},
+		{http.MethodPut, "/v1/jobs"},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader(nil))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %v", c.method, c.path, resp.Status)
+		}
+	}
+}
+
+func TestConcurrentFeeding(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 8; i++ {
+		post(t, ts.URL+"/v1/jobs", registerRequest{JobID: fmt.Sprintf("job%d", i), Nodes: 2})
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			id := fmt.Sprintf("job%d", i)
+			level := 6000.0
+			if i%2 == 1 {
+				level = 7000
+			}
+			var samples []wireSample
+			for sec := 0; sec <= 125; sec++ {
+				for node := 0; node < 2; node++ {
+					samples = append(samples, wireSample{
+						Metric: apps.HeadlineMetric, Node: node,
+						OffsetS: float64(sec), Value: level,
+					})
+				}
+			}
+			b, _ := json.Marshal(sampleBatch{JobID: id, Samples: samples})
+			resp, err := http.Post(ts.URL+"/v1/samples", "application/json", bytes.NewReader(b))
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		want := "ft"
+		if i%2 == 1 {
+			want = "mg"
+		}
+		_, body := get(t, ts.URL+fmt.Sprintf("/v1/jobs/job%d", i))
+		if body["top"] != want {
+			t.Errorf("job%d recognized as %v, want %s", i, body["top"], want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs using Kahan compensated summation, which
+// keeps long 1 Hz telemetry windows accurate even when large baselines
+// carry small fluctuations.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// KahanMean returns the compensated-summation mean of xs, or 0 for empty
+// input. This is the mean used for fingerprint construction.
+func KahanMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs. It returns
+// 0 when fewer than two samples are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Skewness returns the adjusted Fisher–Pearson sample skewness of xs
+// (the definition scipy/pandas use), or 0 when fewer than three samples
+// are available or the variance is zero.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return math.Sqrt(n*(n-1)) / (n - 2) * g1
+}
+
+// Kurtosis returns the sample excess kurtosis of xs with the standard
+// bias correction (Fisher definition: normal distribution → 0), or 0
+// when fewer than four samples are available or the variance is zero.
+func Kurtosis(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g2 := m4/(m2*m2) - 3
+	return ((n - 1) / ((n - 2) * (n - 3))) * ((n+1)*g2 + 6)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between closest ranks — the same method as
+// numpy.percentile's default. The input is not modified. It returns an
+// error for empty input or out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// Percentiles returns the requested percentiles of xs in one pass over a
+// single sorted copy, which is markedly cheaper than repeated Percentile
+// calls when extracting Taxonomist-style feature vectors.
+func Percentiles(xs []float64, ps []float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of range [0,100]")
+		}
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs, or 0 for empty input.
+func Median(xs []float64) float64 {
+	v, err := Percentile(xs, 50)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Summary bundles the descriptive statistics of a sample window. It is
+// the statistical core of both the EFD (Mean) and the Taxonomist feature
+// extraction (all fields).
+type Summary struct {
+	Count    int
+	Mean     float64
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Skewness float64
+	Kurtosis float64
+	P5       float64
+	P25      float64
+	P50      float64
+	P75      float64
+	P95      float64
+}
+
+// Describe computes a Summary of xs. Empty input yields a zero Summary.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	ps, _ := Percentiles(xs, []float64{5, 25, 50, 75, 95})
+	return Summary{
+		Count:    len(xs),
+		Mean:     KahanMean(xs),
+		StdDev:   StdDev(xs),
+		Min:      Min(xs),
+		Max:      Max(xs),
+		Skewness: Skewness(xs),
+		Kurtosis: Kurtosis(xs),
+		P5:       ps[0],
+		P25:      ps[1],
+		P50:      ps[2],
+		P75:      ps[3],
+		P95:      ps[4],
+	}
+}
+
+// Vector flattens the Summary into the 11-feature layout used by the
+// Taxonomist baseline: min, max, mean, std, skew, kurtosis, p5, p25,
+// p50, p75, p95.
+func (s Summary) Vector() []float64 {
+	return []float64{
+		s.Min, s.Max, s.Mean, s.StdDev, s.Skewness, s.Kurtosis,
+		s.P5, s.P25, s.P50, s.P75, s.P95,
+	}
+}
+
+// FeatureNames returns the names of the components of Summary.Vector, in
+// order. Useful for rendering feature-importance reports.
+func FeatureNames() []string {
+	return []string{
+		"min", "max", "mean", "std", "skew", "kurtosis",
+		"p5", "p25", "p50", "p75", "p95",
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats provides the descriptive statistics and rounding
+// primitives used throughout the EFD reproduction: significant-figure
+// rounding ("rounding depth", Table 1 of the paper), batch and online
+// summary statistics, and percentile estimation.
+//
+// All functions are pure and safe for concurrent use.
+package stats
+
+import (
+	"math"
+	"strconv"
+)
+
+// MaxRoundDepth is the largest rounding depth accepted by RoundDepth.
+// Beyond ~15 significant decimal digits a float64 cannot represent the
+// requested precision anyway, so deeper depths degenerate to identity.
+const MaxRoundDepth = 15
+
+// RoundDepth rounds x to depth significant figures, counting from the
+// left-most non-zero digit, reproducing Table 1 of the paper:
+//
+//	RoundDepth(1358.0, 3) == 1360.0
+//	RoundDepth(1358.0, 2) == 1400.0
+//	RoundDepth(1358.0, 1) == 1000.0
+//	RoundDepth(5.28, 2)   == 5.3
+//	RoundDepth(0.038, 1)  == 0.04
+//
+// A depth greater than or equal to the number of significant digits in x
+// leaves the value unchanged (the "-" cells of Table 1). Depth values
+// below 1 are clamped to 1 and values above MaxRoundDepth are clamped to
+// MaxRoundDepth. Zero, NaN and infinities are returned unchanged.
+//
+// The implementation goes through the shortest decimal representation of
+// x (strconv with precision -1) so that two means which print identically
+// always round to bit-identical float64 values. That bit-stability is what
+// makes rounded means usable as exact dictionary keys.
+func RoundDepth(x float64, depth int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > MaxRoundDepth {
+		depth = MaxRoundDepth
+	}
+	// Format with exactly `depth` significant digits; strconv performs
+	// correct round-half-to-even decimal rounding, then parse back.
+	s := strconv.FormatFloat(x, 'e', depth-1, 64)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		// Cannot happen for output of FormatFloat; keep the original
+		// value rather than panic in a measurement path.
+		return x
+	}
+	return v
+}
+
+// RoundHalfUpDepth is a variant of RoundDepth that breaks ties away from
+// zero (the rounding school children learn) instead of IEEE
+// round-half-to-even. The paper's Table 1 is agnostic between the two
+// (none of its examples are ties); this variant exists for users who need
+// to match half-up systems.
+func RoundHalfUpDepth(x float64, depth int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > MaxRoundDepth {
+		depth = MaxRoundDepth
+	}
+	mag := int(math.Floor(math.Log10(math.Abs(x))))
+	// Scale so the target digit sits in the unit position.
+	scale := math.Pow(10, float64(depth-1-mag))
+	scaled := x * scale
+	r := math.Floor(scaled + 0.5)
+	if x < 0 {
+		r = math.Ceil(scaled - 0.5)
+	}
+	// Re-normalize through the decimal printer for bit stability.
+	return RoundDepth(r/scale, depth)
+}
+
+// SignificantDigits reports the number of significant decimal digits in
+// the shortest decimal representation of x: the count of digits from the
+// first non-zero digit to the last non-zero digit. Zero has zero
+// significant digits by convention; NaN/Inf report zero.
+func SignificantDigits(x float64) int {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	s := strconv.FormatFloat(math.Abs(x), 'e', -1, 64)
+	// Form: d[.ddd]e±xx — count mantissa digits, trimming trailing zeros
+	// (FormatFloat with -1 already emits the shortest form, so no
+	// trailing zeros appear, but be defensive).
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == 'e' || c == 'E' {
+			break
+		}
+		if c >= '0' && c <= '9' {
+			n++
+		}
+	}
+	return n
+}
+
+// DecimalMagnitude returns the exponent of the leading decimal digit of
+// x, i.e. floor(log10(|x|)), computed through the decimal printer so that
+// values such as 1000 (whose log10 can land just below an integer in
+// floating point) are classified correctly. Zero/NaN/Inf return 0.
+func DecimalMagnitude(x float64) int {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	s := strconv.FormatFloat(math.Abs(x), 'e', -1, 64)
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'e' || s[i] == 'E' {
+			e, err := strconv.Atoi(s[i+1:])
+			if err != nil {
+				return int(math.Floor(math.Log10(math.Abs(x))))
+			}
+			return e
+		}
+	}
+	return int(math.Floor(math.Log10(math.Abs(x))))
+}
+
+// RoundingStep returns the absolute difference between adjacent
+// representable rounded values around x at the given depth — the
+// quantization step of the fingerprint space. For example at depth 2,
+// values near 1358 quantize in steps of 10^(3-1) = 100. A larger step
+// means heavier pruning.
+func RoundingStep(x float64, depth int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	mag := DecimalMagnitude(x)
+	return math.Pow(10, float64(mag-depth+1))
+}
+
+// FormatKey renders a rounded measurement as its canonical shortest
+// decimal string. Two float64 values compare equal under == exactly when
+// FormatKey returns the same string for both, so the string form can be
+// used interchangeably with the float form in dictionary keys and in
+// serialized dictionaries.
+func FormatKey(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// ParseKey parses a string produced by FormatKey back into a float64.
+func ParseKey(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

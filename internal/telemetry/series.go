@@ -1,0 +1,212 @@
+// Package telemetry defines the time-series model shared by the
+// synthetic monitoring substrate and the recognition layers: per-node,
+// per-metric series of 1 Hz samples, window extraction, and alignment.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// DefaultPeriod is the sampling period used by the LDMS-style monitor,
+// matching the 1-second collection interval of the Taxonomist dataset.
+const DefaultPeriod = time.Second
+
+// Sample is one timestamped measurement of a metric on a node. Time is
+// expressed as an offset from the start of the execution, which keeps
+// executions comparable regardless of when they ran.
+type Sample struct {
+	Offset time.Duration
+	Value  float64
+}
+
+// Series is an ordered sequence of samples of a single metric on a
+// single node. Samples are kept sorted by offset; Append enforces
+// ordering for the common in-order case and Sort restores it otherwise.
+type Series struct {
+	Metric  string
+	Node    int
+	Samples []Sample
+}
+
+// NewSeries returns an empty series for the given metric and node with
+// capacity for n samples.
+func NewSeries(metric string, node, n int) *Series {
+	return &Series{Metric: metric, Node: node, Samples: make([]Sample, 0, n)}
+}
+
+// Append adds a sample, keeping the series sorted when samples arrive in
+// order (the monitoring path). Out-of-order appends are accepted and
+// flagged for a later Sort.
+func (s *Series) Append(offset time.Duration, value float64) {
+	s.Samples = append(s.Samples, Sample{Offset: offset, Value: value})
+}
+
+// Sort orders the samples by offset. Ties keep their relative order.
+func (s *Series) Sort() {
+	sort.SliceStable(s.Samples, func(i, j int) bool {
+		return s.Samples[i].Offset < s.Samples[j].Offset
+	})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Duration reports the offset of the last sample, or 0 when empty.
+func (s *Series) Duration() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].Offset
+}
+
+// Values returns the raw values of all samples, in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.Value
+	}
+	return out
+}
+
+// Window is a half-open time interval [Start, End) measured from the
+// beginning of an execution. The paper's fingerprint interval is
+// [60s, 120s).
+type Window struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// PaperWindow is the interval the paper uses for fingerprints: between
+// 60 and 120 seconds after execution start, chosen to skip the noisy
+// initialization phase while still answering early.
+var PaperWindow = Window{Start: 60 * time.Second, End: 120 * time.Second}
+
+// String renders the window in the paper's "[60:120]" notation
+// (seconds).
+func (w Window) String() string {
+	return fmt.Sprintf("[%d:%d]", int(w.Start.Seconds()), int(w.End.Seconds()))
+}
+
+// Valid reports whether the window is non-empty and non-negative.
+func (w Window) Valid() bool {
+	return w.Start >= 0 && w.End > w.Start
+}
+
+// Duration reports the length of the window.
+func (w Window) Duration() time.Duration { return w.End - w.Start }
+
+// Contains reports whether offset falls inside the half-open window.
+func (w Window) Contains(offset time.Duration) bool {
+	return offset >= w.Start && offset < w.End
+}
+
+// ParseWindow parses the "[60:120]" notation into a Window.
+func ParseWindow(s string) (Window, error) {
+	var a, b int
+	if _, err := fmt.Sscanf(s, "[%d:%d]", &a, &b); err != nil {
+		return Window{}, fmt.Errorf("telemetry: bad window %q: %w", s, err)
+	}
+	w := Window{Start: time.Duration(a) * time.Second, End: time.Duration(b) * time.Second}
+	if !w.Valid() {
+		return Window{}, fmt.Errorf("telemetry: invalid window %q", s)
+	}
+	return w, nil
+}
+
+// ErrShortSeries is returned when a series does not cover the requested
+// window.
+var ErrShortSeries = errors.New("telemetry: series does not cover window")
+
+// Slice returns the values of the samples falling in the window. It
+// returns ErrShortSeries when the series ends before the window starts
+// or contains no samples in the window, so callers can distinguish "the
+// application finished early" from "the application was idle".
+func (s *Series) Slice(w Window) ([]float64, error) {
+	if !w.Valid() {
+		return nil, fmt.Errorf("telemetry: invalid window %v", w)
+	}
+	// Binary search for the window boundaries; samples are sorted.
+	lo := sort.Search(len(s.Samples), func(i int) bool {
+		return s.Samples[i].Offset >= w.Start
+	})
+	hi := sort.Search(len(s.Samples), func(i int) bool {
+		return s.Samples[i].Offset >= w.End
+	})
+	if lo == hi {
+		return nil, ErrShortSeries
+	}
+	out := make([]float64, 0, hi-lo)
+	for _, sm := range s.Samples[lo:hi] {
+		out = append(out, sm.Value)
+	}
+	return out, nil
+}
+
+// WindowMean returns the arithmetic mean of the samples in the window.
+func (s *Series) WindowMean(w Window) (float64, error) {
+	vals, err := s.Slice(w)
+	if err != nil {
+		return 0, err
+	}
+	var sum, comp float64
+	for _, v := range vals {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum / float64(len(vals)), nil
+}
+
+// Resample returns a copy of the series re-gridded to the given period
+// using last-observation-carried-forward, starting at offset zero and
+// ending at the series duration. It is used to repair telemetry with
+// missing or jittered collection ticks before windowing.
+func (s *Series) Resample(period time.Duration) (*Series, error) {
+	if period <= 0 {
+		return nil, errors.New("telemetry: non-positive resample period")
+	}
+	if len(s.Samples) == 0 {
+		return &Series{Metric: s.Metric, Node: s.Node}, nil
+	}
+	dur := s.Duration()
+	n := int(dur/period) + 1
+	out := NewSeries(s.Metric, s.Node, n)
+	j := 0
+	last := s.Samples[0].Value
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * period
+		for j < len(s.Samples) && s.Samples[j].Offset <= at {
+			last = s.Samples[j].Value
+			j++
+		}
+		out.Append(at, last)
+	}
+	return out, nil
+}
+
+// Validate reports the first problem found in the series: unsorted
+// samples, negative offsets, or non-finite values. A nil return means
+// the series is well-formed.
+func (s *Series) Validate() error {
+	var prev time.Duration = -1
+	for i, sm := range s.Samples {
+		if sm.Offset < 0 {
+			return fmt.Errorf("telemetry: %s node %d sample %d: negative offset %v",
+				s.Metric, s.Node, i, sm.Offset)
+		}
+		if sm.Offset < prev {
+			return fmt.Errorf("telemetry: %s node %d sample %d: out of order", s.Metric, s.Node, i)
+		}
+		if math.IsNaN(sm.Value) || math.IsInf(sm.Value, 0) {
+			return fmt.Errorf("telemetry: %s node %d sample %d: non-finite value",
+				s.Metric, s.Node, i)
+		}
+		prev = sm.Offset
+	}
+	return nil
+}

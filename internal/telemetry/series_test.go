@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func mkSeries(t *testing.T, metric string, node int, values []float64) *Series {
+	t.Helper()
+	s := NewSeries(metric, node, len(values))
+	for i, v := range values {
+		s.Append(sec(i), v)
+	}
+	return s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := mkSeries(t, "m", 2, []float64{1, 2, 3})
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Duration() != sec(2) {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Errorf("Values = %v", vals)
+	}
+	empty := NewSeries("m", 0, 0)
+	if empty.Duration() != 0 || empty.Len() != 0 {
+		t.Error("empty series should report zero length and duration")
+	}
+}
+
+func TestSeriesSort(t *testing.T) {
+	s := NewSeries("m", 0, 3)
+	s.Append(sec(2), 30)
+	s.Append(sec(0), 10)
+	s.Append(sec(1), 20)
+	if err := s.Validate(); err == nil {
+		t.Fatal("out-of-order series should fail validation")
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("sorted series should validate: %v", err)
+	}
+	if s.Samples[0].Value != 10 || s.Samples[2].Value != 30 {
+		t.Errorf("sort order wrong: %+v", s.Samples)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := Window{Start: sec(60), End: sec(120)}
+	if w.String() != "[60:120]" {
+		t.Errorf("String = %q", w.String())
+	}
+	if !w.Valid() || w.Duration() != sec(60) {
+		t.Error("window validity/duration wrong")
+	}
+	if !w.Contains(sec(60)) || w.Contains(sec(120)) || !w.Contains(sec(119)) {
+		t.Error("half-open containment wrong")
+	}
+	if (Window{Start: sec(5), End: sec(5)}).Valid() {
+		t.Error("empty window should be invalid")
+	}
+	if (Window{Start: -sec(1), End: sec(5)}).Valid() {
+		t.Error("negative start should be invalid")
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	w, err := ParseWindow("[60:120]")
+	if err != nil || w != PaperWindow {
+		t.Fatalf("ParseWindow: %v %v", w, err)
+	}
+	for _, bad := range []string{"60:120", "[x:y]", "[120:60]", "[5:5]", ""} {
+		if _, err := ParseWindow(bad); err == nil {
+			t.Errorf("ParseWindow(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseWindowRoundTrip(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := int(a), int(b)
+		if lo >= hi {
+			lo, hi = hi, lo+1
+		}
+		w := Window{Start: sec(lo), End: sec(hi)}
+		got, err := ParseWindow(w.String())
+		return err == nil && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceWindow(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := mkSeries(t, "m", 0, vals)
+	got, err := s.Slice(Window{Start: sec(60), End: sec(120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 || got[0] != 60 || got[59] != 119 {
+		t.Errorf("Slice = len %d, first %v, last %v", len(got), got[0], got[len(got)-1])
+	}
+}
+
+func TestSliceShortSeries(t *testing.T) {
+	s := mkSeries(t, "m", 0, []float64{1, 2, 3}) // covers [0,2]
+	_, err := s.Slice(Window{Start: sec(60), End: sec(120)})
+	if !errors.Is(err, ErrShortSeries) {
+		t.Fatalf("want ErrShortSeries, got %v", err)
+	}
+	if _, err := s.Slice(Window{Start: sec(5), End: sec(1)}); err == nil {
+		t.Fatal("invalid window should error")
+	}
+}
+
+func TestWindowMeanMatchesManual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 150)
+	for i := range vals {
+		vals[i] = 100 + rng.NormFloat64()
+	}
+	s := mkSeries(t, "m", 0, vals)
+	w := Window{Start: sec(60), End: sec(120)}
+	got, err := s.WindowMean(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 60; i < 120; i++ {
+		want += vals[i]
+	}
+	want /= 60
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WindowMean = %v, want %v", got, want)
+	}
+}
+
+func TestWindowMeanPartialCoverage(t *testing.T) {
+	// Series ends at 90s: the [60:120] window is partially covered;
+	// mean should still be computed over the available samples.
+	vals := make([]float64, 91)
+	for i := range vals {
+		vals[i] = 7
+	}
+	s := mkSeries(t, "m", 0, vals)
+	got, err := s.WindowMean(PaperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("WindowMean = %v", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := NewSeries("m", 0, 4)
+	s.Append(0, 1)
+	s.Append(sec(2), 2) // missing tick at 1s
+	s.Append(sec(3), 3)
+	r, err := s.Resample(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2, 3} // LOCF fills the gap
+	got := r.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Resample length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Resample[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Error("non-positive period should error")
+	}
+	empty := NewSeries("m", 0, 0)
+	r2, err := empty.Resample(time.Second)
+	if err != nil || r2.Len() != 0 {
+		t.Error("resampling empty series should yield empty series")
+	}
+}
+
+func TestValidateCatchesNonFinite(t *testing.T) {
+	s := NewSeries("m", 0, 2)
+	s.Append(0, 1)
+	s.Append(sec(1), math.NaN())
+	if err := s.Validate(); err == nil {
+		t.Error("NaN should fail validation")
+	}
+	s2 := NewSeries("m", 0, 1)
+	s2.Append(-sec(1), 1)
+	if err := s2.Validate(); err == nil {
+		t.Error("negative offset should fail validation")
+	}
+}
+
+func TestNodeSet(t *testing.T) {
+	ns := NewNodeSet()
+	ns.Put(mkSeries(t, "a", 0, []float64{1}))
+	ns.Put(mkSeries(t, "b", 0, []float64{1, 2}))
+	ns.Put(mkSeries(t, "a", 1, []float64{1}))
+	ns.Put(mkSeries(t, "b", 1, []float64{1}))
+	if got := ns.Nodes(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Nodes = %v", got)
+	}
+	if got := ns.Metrics(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Metrics = %v", got)
+	}
+	if ns.NumSeries() != 4 {
+		t.Errorf("NumSeries = %d", ns.NumSeries())
+	}
+	if ns.Duration() != sec(1) {
+		t.Errorf("Duration = %v", ns.Duration())
+	}
+	if ns.Get(0, "a") == nil || ns.Get(2, "a") != nil || ns.Get(0, "c") != nil {
+		t.Error("Get lookup wrong")
+	}
+	if err := ns.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNodeSetValidateMismatchedMetrics(t *testing.T) {
+	ns := NewNodeSet()
+	ns.Put(mkSeries(t, "a", 0, []float64{1}))
+	ns.Put(mkSeries(t, "b", 1, []float64{1}))
+	if err := ns.Validate(); err == nil {
+		t.Error("nodes with different metric sets should fail validation")
+	}
+}
+
+func TestNodeSetPutReplaces(t *testing.T) {
+	ns := NewNodeSet()
+	ns.Put(mkSeries(t, "a", 0, []float64{1}))
+	ns.Put(mkSeries(t, "a", 0, []float64{5, 6}))
+	if got := ns.Get(0, "a").Len(); got != 2 {
+		t.Errorf("replacement series length = %d", got)
+	}
+	if ns.NumSeries() != 1 {
+		t.Errorf("NumSeries = %d after replace", ns.NumSeries())
+	}
+}
+
+func TestFilterMetrics(t *testing.T) {
+	ns := NewNodeSet()
+	ns.Put(mkSeries(t, "a", 0, []float64{1}))
+	ns.Put(mkSeries(t, "b", 0, []float64{1}))
+	ns.Put(mkSeries(t, "c", 0, []float64{1}))
+	f := ns.FilterMetrics([]string{"a", "c", "zzz"})
+	if got := f.Metrics(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("FilterMetrics = %v", got)
+	}
+	// Shared series: the filter is a view.
+	if f.Get(0, "a") != ns.Get(0, "a") {
+		t.Error("filtered series should be shared, not copied")
+	}
+}
