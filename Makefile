@@ -1,0 +1,24 @@
+# Build / verification entry points.
+#
+#   make check   - tier-1 gate: build everything, vet, run all tests
+#   make test    - build + tests only (the original tier-1 command)
+#   make bench   - benchmark smoke run with allocation reporting; also
+#                  writes machine-readable results to BENCH_<rev>.json
+#                  so per-PR benchmark trajectories can accumulate
+#   make vet     - static analysis only
+
+GO ?= go
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
+
+.PHONY: check test vet bench
+
+check: test vet
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	./scripts/bench.sh "BENCH_$(REV).json"

@@ -314,6 +314,65 @@ func BenchmarkMicroRecognizeExecution(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroRecognizeWarmed is the production request path: a
+// warmed dictionary queried through a reused Recognizer. Expected
+// steady state is 0 allocs/op — perf_test.go pins exactly that with
+// testing.AllocsPerRun.
+func BenchmarkMicroRecognizeWarmed(b *testing.B) {
+	ds := benchDataset(b)
+	d, err := core.Build(ds, core.DefaultConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := d.NewRecognizer()
+	for _, e := range ds.Executions {
+		rec.Recognize(core.Source(e)) // warm scratch + window indexes
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := rec.Recognize(core.Source(ds.Executions[i%ds.Len()]))
+		if res.Total == 0 {
+			b.Fatal("no fingerprints")
+		}
+	}
+}
+
+// BenchmarkMicroExtractInto times public fingerprint extraction with a
+// reused destination slice.
+func BenchmarkMicroExtractInto(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := core.DefaultConfig(3)
+	var fps []core.Fingerprint
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fps = core.ExtractInto(fps[:0], core.Source(ds.Executions[i%ds.Len()]), cfg)
+		if len(fps) == 0 {
+			b.Fatal("no fingerprints")
+		}
+	}
+}
+
+// BenchmarkFitSequential and BenchmarkFitParallel compare the
+// depth×fold cross-validation grid at one worker versus GOMAXPROCS
+// workers; results are byte-identical, only wall-clock differs.
+func benchFit(b *testing.B, workers int) {
+	ds := benchDataset(b)
+	cfg := core.DefaultFitConfig()
+	cfg.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Fit(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitSequential(b *testing.B) { benchFit(b, 1) }
+func BenchmarkFitParallel(b *testing.B)  { benchFit(b, 0) }
+
 func BenchmarkMicroStreamFeed(b *testing.B) {
 	ds := benchDataset(b)
 	d, err := core.Build(ds, core.DefaultConfig(3))

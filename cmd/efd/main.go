@@ -153,7 +153,7 @@ func cmdRecognize(args []string) error {
 	for _, e := range ds.Executions {
 		res := d.Recognize(core.Source(e))
 		fmt.Printf("exec %4d  truth=%-14s pred=%-14s votes=%v\n",
-			e.ID, e.Label, res.Top(), res.Votes)
+			e.ID, e.Label, res.Top(), res.Votes())
 		pairs = append(pairs, eval.Pair{Truth: e.Label.App, Pred: res.Top()})
 	}
 	if *report {

@@ -3,4 +3,11 @@
 // bench_test.go regenerates every table and figure of the paper (see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for measured
 // results).
+//
+// The recognition hot path is allocation-free on a warmed dictionary
+// (interned integer keys, dense vote accumulators, reused scratch — see
+// the internal/core package comment), and training parallelizes its
+// cross-validation grid with byte-identical results at any worker
+// count. Run `make bench` for the benchmark suite with allocation
+// reporting, `make check` for build + vet + tests.
 package repro

@@ -65,11 +65,11 @@ func main() {
 		}
 		if stream.Complete() {
 			res := stream.Recognize()
-			fmt.Printf("  t=%3ds FINAL: %s (votes %v)\n", secs, res.Top(), res.Votes)
+			fmt.Printf("  t=%3ds FINAL: %s (votes %v)\n", secs, res.Top(), res.Votes())
 			fmt.Printf("answered %v before the job finished\n",
 				(duration - tick).Round(time.Second))
-			if len(res.Inputs) > 0 {
-				fmt.Printf("input-size estimate: %v\n", res.Inputs)
+			if len(res.Inputs()) > 0 {
+				fmt.Printf("input-size estimate: %v\n", res.Inputs())
 			}
 			return
 		}

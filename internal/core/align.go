@@ -112,7 +112,7 @@ func topVotes(r Result) int {
 	if len(r.Apps) == 0 {
 		return 0
 	}
-	return r.Votes[r.Apps[0]]
+	return r.VotesFor(r.Apps[0])
 }
 
 func absDur(d time.Duration) time.Duration {

@@ -110,8 +110,8 @@ func TestWeightedVotingBreaksNoiseTies(t *testing.T) {
 	if weighted.Top() != "steady" || len(weighted.Apps) != 1 {
 		t.Fatalf("weighted voting should pick steady: %+v", weighted)
 	}
-	if weighted.Votes["steady"] != 9 || weighted.Votes["noisy"] != 1 {
-		t.Errorf("weighted votes = %v", weighted.Votes)
+	if weighted.VotesFor("steady") != 9 || weighted.VotesFor("noisy") != 1 {
+		t.Errorf("weighted votes = %v", weighted.Votes())
 	}
 	if c := weighted.Confidence(); c != 1 {
 		t.Errorf("weighted confidence should clamp to 1, got %v", c)

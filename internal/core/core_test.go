@@ -130,8 +130,8 @@ func TestRecognizeMajorityAcrossNodes(t *testing.T) {
 	if res.Top() != "aaa" {
 		t.Fatalf("majority vote should pick aaa, got %+v", res)
 	}
-	if res.Votes["aaa"] != 4 || res.Votes["bbb"] != 2 {
-		t.Errorf("votes = %v", res.Votes)
+	if res.VotesFor("aaa") != 4 || res.VotesFor("bbb") != 2 {
+		t.Errorf("votes = %v", res.Votes())
 	}
 }
 
@@ -179,12 +179,12 @@ func TestInputsAggregation(t *testing.T) {
 		t.Fatal("should recognize ft")
 	}
 	// All three input labels share the keys.
-	if len(res.Inputs) != 3 {
-		t.Errorf("Inputs = %v", res.Inputs)
+	if len(res.Inputs()) != 3 {
+		t.Errorf("Inputs = %v", res.Inputs())
 	}
 	// One vote per matched key per app, not per label.
-	if res.Votes["ft"] != 2 {
-		t.Errorf("votes = %v, want 2 (one per node)", res.Votes)
+	if res.VotesFor("ft") != 2 {
+		t.Errorf("votes = %v, want 2 (one per node)", res.Votes())
 	}
 }
 

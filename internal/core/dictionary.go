@@ -18,26 +18,92 @@ import (
 // case discussed in §5 of the paper (e.g. SP and BT at rounding
 // depth 2).
 //
+// Internally the dictionary does not store the public 3-string
+// Fingerprint form. Metric names, window encodings, application names
+// and labels are interned into small integer IDs at construction and
+// Add time, and entries live in per-(metric, window, node) buckets
+// keyed only by the canonical mean encoding. The public Fingerprint is
+// converted to and from that compact space at the API boundary (Add,
+// Lookup, Count, Entries, Save/Load), which keeps the recognition hot
+// path free of string formatting and per-call map allocation.
+//
 // A Dictionary is not safe for concurrent mutation; concurrent Lookup
 // and Recognize calls are safe once learning is done.
 type Dictionary struct {
-	cfg     Config
-	entries map[Fingerprint]*entry
+	cfg Config
+
+	// Interning tables for the key components. metricIDs covers both
+	// configured metrics and any metric name seen through Add (e.g.
+	// foreign names during Merge or Load).
+	metricIDs   map[string]int32
+	metricNames []string
+	windowIDs   map[string]int32
+	windowKeys  []string
+
+	// The extraction plan: interned IDs of the configured metrics and
+	// windows, resolved once at NewDictionary so extraction never
+	// formats a window or re-interns a metric per call.
+	planMetrics []int32 // per cfg.Metrics (independent keys)
+	planJoint   int32   // the "+"-joined metric, -1 unless cfg.Joint
+	planWindows []int32 // per cfg.Windows
+
+	// buckets holds the entries: one inner map per (metric, window,
+	// node) coordinate, keyed by the canonical mean encoding. Inner
+	// lookups take the key as bytes ([]byte-to-string map access does
+	// not allocate), which is what makes warmed recognition
+	// allocation-free.
+	buckets map[bucketKey]map[string]*entry
+	size    int
+
 	// appOrder records the order in which application names were first
 	// learned; ties during recognition resolve in this order (the
 	// paper returns SP for the SP/BT tie because SP was learned
-	// first).
+	// first). apps is the same ordering as a slice, so an app ID
+	// doubles as a dense vote-accumulator index.
 	appOrder map[string]int
 	apps     []string
+
+	// Labels are interned like apps; labelApps maps a label ID to its
+	// application's ID.
+	labelIDs  map[apps.Label]int32
+	labels    []apps.Label
+	labelApps []int32
+
+	// learnRawBuf and learnKeyBuf are Learn's reused extraction
+	// buffers. Learn mutates the dictionary, which is single-writer by
+	// contract, so dictionary-owned scratch is race-free and keeps
+	// repeated learning allocation-light.
+	learnRawBuf rawExec
+	learnKeyBuf keySet
 }
 
+// bucketKey addresses one (metric, window, node) coordinate of the key
+// space through interned IDs. It contains no strings, so bucket lookup
+// never allocates.
+type bucketKey struct {
+	metric int32
+	window int32
+	node   int32
+}
+
+// entry is the value stored under one fingerprint key.
 type entry struct {
-	labels []apps.Label
-	seen   map[apps.Label]bool
-	// counts tracks how many training executions produced this key per
+	// labels lists the label IDs in learning order; counts is parallel
+	// and tracks how many training executions produced this key per
 	// label — the "repetition count" of §3. It feeds weighted voting
 	// and Compact.
-	counts map[apps.Label]int
+	labels []int32
+	counts []int32
+	// votes precomputes the per-application voting contribution of
+	// this key: one element per distinct application (learning order)
+	// carrying the maximum per-label count, so recognition needs no
+	// per-key scratch map.
+	votes []appVote
+}
+
+type appVote struct {
+	app int32
+	max int32
 }
 
 // NewDictionary returns an empty dictionary with the given fingerprint
@@ -46,11 +112,68 @@ func NewDictionary(cfg Config) (*Dictionary, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Dictionary{
-		cfg:      cfg,
-		entries:  make(map[Fingerprint]*entry),
-		appOrder: make(map[string]int),
-	}, nil
+	d := &Dictionary{
+		cfg:       cfg,
+		metricIDs: make(map[string]int32),
+		windowIDs: make(map[string]int32),
+		buckets:   make(map[bucketKey]map[string]*entry),
+		appOrder:  make(map[string]int),
+		labelIDs:  make(map[apps.Label]int32),
+		planJoint: -1,
+	}
+	d.planMetrics = make([]int32, len(cfg.Metrics))
+	for i, m := range cfg.Metrics {
+		d.planMetrics[i] = d.internMetric(m)
+	}
+	if cfg.Joint {
+		d.planJoint = d.internMetric(strings.Join(cfg.Metrics, "+"))
+	}
+	d.planWindows = make([]int32, len(cfg.Windows))
+	for i, w := range cfg.Windows {
+		d.planWindows[i] = d.internWindow(w.Key())
+	}
+	return d, nil
+}
+
+func (d *Dictionary) internMetric(name string) int32 {
+	if id, ok := d.metricIDs[name]; ok {
+		return id
+	}
+	id := int32(len(d.metricNames))
+	d.metricIDs[name] = id
+	d.metricNames = append(d.metricNames, name)
+	return id
+}
+
+func (d *Dictionary) internWindow(key string) int32 {
+	if id, ok := d.windowIDs[key]; ok {
+		return id
+	}
+	id := int32(len(d.windowKeys))
+	d.windowIDs[key] = id
+	d.windowKeys = append(d.windowKeys, key)
+	return id
+}
+
+func (d *Dictionary) internApp(app string) int32 {
+	if i, ok := d.appOrder[app]; ok {
+		return int32(i)
+	}
+	i := len(d.apps)
+	d.appOrder[app] = i
+	d.apps = append(d.apps, app)
+	return int32(i)
+}
+
+func (d *Dictionary) internLabel(l apps.Label) int32 {
+	if id, ok := d.labelIDs[l]; ok {
+		return id
+	}
+	id := int32(len(d.labels))
+	d.labelIDs[l] = id
+	d.labels = append(d.labels, l)
+	d.labelApps = append(d.labelApps, d.internApp(l.App))
+	return id
 }
 
 // Config returns the dictionary's fingerprint configuration.
@@ -69,31 +192,102 @@ func (d *Dictionary) AddN(fp Fingerprint, label apps.Label, n int) {
 	if n <= 0 {
 		return
 	}
-	e, ok := d.entries[fp]
+	bk := bucketKey{
+		metric: d.internMetric(fp.Metric),
+		window: d.internWindow(fp.Window),
+		node:   int32(fp.Node),
+	}
+	b := d.buckets[bk]
+	if b == nil {
+		b = make(map[string]*entry)
+		d.buckets[bk] = b
+	}
+	e := b[fp.Key]
+	if e == nil {
+		e = &entry{}
+		b[fp.Key] = e
+		d.size++
+	}
+	d.bump(e, d.internLabel(label), int32(n))
+}
+
+// addKeyBytes is the allocation-aware insertion used by the extraction
+// paths: the key arrives as bytes in a reused buffer and is only cloned
+// into a string when the entry does not exist yet.
+func (d *Dictionary) addKeyBytes(bk bucketKey, key []byte, label apps.Label, n int32) {
+	b := d.buckets[bk]
+	if b == nil {
+		b = make(map[string]*entry)
+		d.buckets[bk] = b
+	}
+	e := b[string(key)] // compiler-optimized: no allocation for the lookup
+	if e == nil {
+		e = &entry{}
+		b[string(key)] = e
+		d.size++
+	}
+	d.bump(e, d.internLabel(label), n)
+}
+
+// bump records n more observations of label ID lid on entry e,
+// maintaining the per-application vote precompute.
+func (d *Dictionary) bump(e *entry, lid, n int32) {
+	count := n
+	found := false
+	for i, l := range e.labels {
+		if l == lid {
+			e.counts[i] += n
+			count = e.counts[i]
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.labels = append(e.labels, lid)
+		e.counts = append(e.counts, n)
+	}
+	app := d.labelApps[lid]
+	for i := range e.votes {
+		if e.votes[i].app == app {
+			if count > e.votes[i].max {
+				e.votes[i].max = count
+			}
+			return
+		}
+	}
+	e.votes = append(e.votes, appVote{app: app, max: count})
+}
+
+// entryFor resolves the public fingerprint form to its entry, or nil.
+func (d *Dictionary) entryFor(fp Fingerprint) *entry {
+	mid, ok := d.metricIDs[fp.Metric]
 	if !ok {
-		e = &entry{seen: make(map[apps.Label]bool), counts: make(map[apps.Label]int)}
-		d.entries[fp] = e
+		return nil
 	}
-	e.counts[label] += n
-	if e.seen[label] {
-		return
+	wid, ok := d.windowIDs[fp.Window]
+	if !ok {
+		return nil
 	}
-	e.seen[label] = true
-	e.labels = append(e.labels, label)
-	if _, ok := d.appOrder[label.App]; !ok {
-		d.appOrder[label.App] = len(d.apps)
-		d.apps = append(d.apps, label.App)
-	}
+	return d.buckets[bucketKey{metric: mid, window: wid, node: int32(fp.Node)}][fp.Key]
 }
 
 // Count reports how many training executions produced the fingerprint
 // under the label.
 func (d *Dictionary) Count(fp Fingerprint, label apps.Label) int {
-	e, ok := d.entries[fp]
+	e := d.entryFor(fp)
+	if e == nil {
+		return 0
+	}
+	lid, ok := d.labelIDs[label]
 	if !ok {
 		return 0
 	}
-	return e.counts[label]
+	for i, l := range e.labels {
+		if l == lid {
+			return int(e.counts[i])
+		}
+	}
+	return 0
 }
 
 // Compact removes keys whose total observation count is below min,
@@ -106,62 +300,90 @@ func (d *Dictionary) Compact(min int) int {
 		return 0
 	}
 	// Count keys per label so the guard below can hold.
-	keysPerLabel := make(map[apps.Label]int)
-	for _, e := range d.entries {
-		for _, l := range e.labels {
-			keysPerLabel[l]++
+	keysPerLabel := make([]int, len(d.labels))
+	for _, b := range d.buckets {
+		for _, e := range b {
+			for _, lid := range e.labels {
+				keysPerLabel[lid]++
+			}
 		}
 	}
 	removed := 0
-	for fp, e := range d.entries {
-		total := 0
-		for _, c := range e.counts {
-			total += c
-		}
-		if total >= min {
-			continue
-		}
-		last := false
-		for _, l := range e.labels {
-			if keysPerLabel[l] <= 1 {
-				last = true
-				break
+	for _, b := range d.buckets {
+		for key, e := range b {
+			total := int32(0)
+			for _, c := range e.counts {
+				total += c
 			}
+			if int(total) >= min {
+				continue
+			}
+			last := false
+			for _, lid := range e.labels {
+				if keysPerLabel[lid] <= 1 {
+					last = true
+					break
+				}
+			}
+			if last {
+				continue
+			}
+			for _, lid := range e.labels {
+				keysPerLabel[lid]--
+			}
+			delete(b, key)
+			d.size--
+			removed++
 		}
-		if last {
-			continue
-		}
-		for _, l := range e.labels {
-			keysPerLabel[l]--
-		}
-		delete(d.entries, fp)
-		removed++
 	}
 	return removed
 }
 
 // Learn extracts the fingerprints of a labelled execution and adds them
 // all. This is the entire training step of the EFD — no optimization,
-// no model.
+// no model. Keys already present only have counts bumped; new keys
+// clone their canonical encoding out of the extraction buffer.
 func (d *Dictionary) Learn(src WindowSource, label apps.Label) {
-	for _, fp := range Extract(src, d.cfg) {
-		d.Add(fp, label)
+	extractRawInto(&d.learnRawBuf, src, d.cfg.Metrics, d.cfg.Windows, d.cfg.Joint)
+	d.learnRaw(d.learnRawBuf, label, &d.learnKeyBuf)
+}
+
+// keySet is a reusable extraction buffer: the canonical key bytes of
+// every fingerprint of one execution, plus their bucket coordinates.
+// keysFromRaw fills it from a rawExec walk.
+type keySet struct {
+	buf  []byte
+	refs []keyRef
+}
+
+type keyRef struct {
+	bk       bucketKey
+	off, end int32
+}
+
+// materializeLabels converts an entry's interned labels to the public
+// form.
+func (d *Dictionary) materializeLabels(e *entry) []apps.Label {
+	out := make([]apps.Label, len(e.labels))
+	for i, lid := range e.labels {
+		out[i] = d.labels[lid]
 	}
+	return out
 }
 
 // Lookup returns the labels stored under the fingerprint, in learning
-// order, or nil when the fingerprint is unknown. The returned slice is
-// shared; callers must not modify it.
+// order, or nil when the fingerprint is unknown. The slice is freshly
+// allocated and owned by the caller.
 func (d *Dictionary) Lookup(fp Fingerprint) []apps.Label {
-	e, ok := d.entries[fp]
-	if !ok {
+	e := d.entryFor(fp)
+	if e == nil {
 		return nil
 	}
-	return e.labels
+	return d.materializeLabels(e)
 }
 
 // Len reports the number of distinct fingerprint keys.
-func (d *Dictionary) Len() int { return len(d.entries) }
+func (d *Dictionary) Len() int { return d.size }
 
 // Apps returns the application names known to the dictionary in
 // learning order.
@@ -184,26 +406,25 @@ type Stats struct {
 
 // Stats computes composition statistics.
 func (d *Dictionary) Stats() Stats {
-	s := Stats{Keys: len(d.entries), Depth: d.cfg.Depth}
-	labelSet := make(map[apps.Label]bool)
-	for _, e := range d.entries {
-		firstApp := ""
-		exclusive := true
-		for _, l := range e.labels {
-			labelSet[l] = true
-			if firstApp == "" {
-				firstApp = l.App
-			} else if l.App != firstApp {
-				exclusive = false
+	s := Stats{Keys: d.size, Depth: d.cfg.Depth}
+	labelSeen := make([]bool, len(d.labels))
+	for _, b := range d.buckets {
+		for _, e := range b {
+			for _, lid := range e.labels {
+				labelSeen[lid] = true
+			}
+			if len(e.votes) <= 1 {
+				s.Exclusive++
+			} else {
+				s.Collisions++
 			}
 		}
-		if exclusive {
-			s.Exclusive++
-		} else {
-			s.Collisions++
+	}
+	for _, seen := range labelSeen {
+		if seen {
+			s.Labels++
 		}
 	}
-	s.Labels = len(labelSet)
 	return s
 }
 
@@ -219,18 +440,33 @@ type Entry struct {
 // them: by metric, window, ascending mean, then node — so related keys
 // group together. Labels inside an entry keep learning order.
 func (d *Dictionary) Entries() []Entry {
-	out := make([]Entry, 0, len(d.entries))
-	for fp, e := range d.entries {
-		labels := make([]apps.Label, len(e.labels))
-		copy(labels, e.labels)
-		counts := make([]int, len(e.labels))
-		for i, l := range e.labels {
-			counts[i] = e.counts[l]
-		}
-		out = append(out, Entry{Key: fp, Labels: labels, Counts: counts})
+	type sortEntry struct {
+		e Entry
+		// mean caches Fingerprint.Mean() so the comparator does not
+		// re-parse the key string O(n log n) times.
+		mean float64
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Key, out[j].Key
+	rows := make([]sortEntry, 0, d.size)
+	for bk, b := range d.buckets {
+		for key, e := range b {
+			fp := Fingerprint{
+				Metric: d.metricNames[bk.metric],
+				Node:   int(bk.node),
+				Window: d.windowKeys[bk.window],
+				Key:    key,
+			}
+			counts := make([]int, len(e.counts))
+			for i, c := range e.counts {
+				counts[i] = int(c)
+			}
+			rows = append(rows, sortEntry{
+				e:    Entry{Key: fp, Labels: d.materializeLabels(e), Counts: counts},
+				mean: fp.Mean(),
+			})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].e.Key, rows[j].e.Key
 		if a.Metric != b.Metric {
 			return a.Metric < b.Metric
 		}
@@ -238,7 +474,7 @@ func (d *Dictionary) Entries() []Entry {
 			return a.Window < b.Window
 		}
 		if a.Key != b.Key {
-			am, bm := a.Mean(), b.Mean()
+			am, bm := rows[i].mean, rows[j].mean
 			if am != bm {
 				return am < bm
 			}
@@ -246,6 +482,10 @@ func (d *Dictionary) Entries() []Entry {
 		}
 		return a.Node < b.Node
 	})
+	out := make([]Entry, len(rows))
+	for i, r := range rows {
+		out[i] = r.e
+	}
 	return out
 }
 
@@ -266,12 +506,13 @@ func (d *Dictionary) Dump(w io.Writer) error {
 	return nil
 }
 
-// Merge adds every entry of other into d. Label order within merged
-// entries follows d first, then other's additions.
+// Merge adds every entry of other into d. Entries arrive in other's
+// Entries() order (deterministic); label order within merged entries
+// follows d first, then other's additions.
 func (d *Dictionary) Merge(other *Dictionary) {
-	for fp, e := range other.entries {
-		for _, l := range e.labels {
-			d.AddN(fp, l, e.counts[l])
+	for _, e := range other.Entries() {
+		for i, l := range e.Labels {
+			d.AddN(e.Key, l, e.Counts[i])
 		}
 	}
 }
@@ -281,6 +522,7 @@ type jsonDict struct {
 	Metrics []string    `json:"metrics"`
 	Windows []string    `json:"windows"`
 	Depth   int         `json:"depth"`
+	Joint   bool        `json:"joint,omitempty"`
 	Apps    []string    `json:"apps"`
 	Entries []jsonEntry `json:"entries"`
 }
@@ -299,10 +541,10 @@ type jsonEntry struct {
 // Save writes the dictionary as JSON. Keys are canonical decimal
 // strings, so a load reproduces bit-identical fingerprints.
 func (d *Dictionary) Save(w io.Writer) error {
-	jd := jsonDict{Depth: d.cfg.Depth, Apps: d.Apps()}
+	jd := jsonDict{Depth: d.cfg.Depth, Joint: d.cfg.Joint, Apps: d.Apps()}
 	jd.Metrics = append(jd.Metrics, d.cfg.Metrics...)
 	for _, win := range d.cfg.Windows {
-		jd.Windows = append(jd.Windows, win.String())
+		jd.Windows = append(jd.Windows, win.Key())
 	}
 	for _, e := range d.Entries() {
 		je := jsonEntry{
@@ -322,13 +564,15 @@ func (d *Dictionary) Save(w io.Writer) error {
 	return enc.Encode(jd)
 }
 
-// Load reads a dictionary previously written by Save.
+// Load reads a dictionary previously written by Save, including the
+// joint-mode flag, so a combinatorial-fingerprint dictionary keeps
+// producing composite keys after a reload.
 func Load(r io.Reader) (*Dictionary, error) {
 	var jd jsonDict
 	if err := json.NewDecoder(r).Decode(&jd); err != nil {
 		return nil, fmt.Errorf("core: decode dictionary: %w", err)
 	}
-	cfg := Config{Metrics: jd.Metrics, Depth: jd.Depth}
+	cfg := Config{Metrics: jd.Metrics, Depth: jd.Depth, Joint: jd.Joint}
 	for _, ws := range jd.Windows {
 		w, err := telemetry.ParseWindow(ws)
 		if err != nil {
@@ -342,8 +586,7 @@ func Load(r io.Reader) (*Dictionary, error) {
 	}
 	// Pre-register apps so learning order survives the round trip.
 	for _, a := range jd.Apps {
-		d.appOrder[a] = len(d.apps)
-		d.apps = append(d.apps, a)
+		d.internApp(a)
 	}
 	for _, je := range jd.Entries {
 		fp := Fingerprint{Metric: je.Metric, Node: je.Node, Window: je.Window, Key: je.Key}

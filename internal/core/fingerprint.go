@@ -15,6 +15,28 @@
 // Joint mode, the rounded means of several metrics merge into a single
 // composite key per (node, window), trading noise robustness for
 // exclusiveness.
+//
+// # Interned keys and the public Fingerprint boundary
+//
+// The Fingerprint struct — three strings and a node index — is the
+// public and serialized form of a key, but not the stored one. Inside a
+// Dictionary, metric names, window encodings, applications and labels
+// are interned into small integer IDs, entries live in
+// per-(metric, window, node) buckets keyed by the canonical mean
+// encoding alone, and each entry precomputes its per-application voting
+// contribution. Conversion between the two forms happens only at the
+// API boundary (Add, Lookup, Count, Entries, Save/Load).
+//
+// That split is what makes the recognition hot path allocation-free:
+// a Recognizer extracts key bytes into a reused buffer, looks them up
+// without string construction, and tallies votes in dense accumulators
+// indexed by interned app ID. On a warmed dictionary,
+// Recognizer.Recognize performs zero allocations per execution;
+// Dictionary.Recognize is the convenience form that allocates a fresh
+// scratch so its Result is independently owned. Training (Fit) runs the
+// depth×fold cross-validation grid on a bounded worker pool with
+// deterministic assembly, and extracts raw window means once per
+// execution, re-rounding per candidate depth.
 package core
 
 import (
@@ -141,41 +163,52 @@ type WindowSource interface {
 // contribute no fingerprint for it; in Joint mode a missing component
 // suppresses the whole composite key.
 func Extract(src WindowSource, cfg Config) []Fingerprint {
-	var out []Fingerprint
+	return ExtractInto(nil, src, cfg)
+}
+
+// ExtractInto appends all fingerprints of the source under the
+// configuration to dst and returns the extended slice, reusing dst's
+// capacity. Streaming and batch callers that recognize many executions
+// can pass the previous call's slice (re-sliced to length zero) to
+// avoid re-allocating the fingerprint array; window key strings are
+// computed once per call rather than once per (metric, node) probe.
+//
+// Note that recognition itself does not go through Fingerprint
+// construction at all — Dictionary.Recognize and Recognizer extract
+// interned keys into byte buffers instead. ExtractInto is the public
+// boundary for callers that want the fingerprints themselves; it
+// renders the same extraction walk (extractRawInto) the interned paths
+// consume, so order and keys never diverge between the two forms.
+func ExtractInto(dst []Fingerprint, src WindowSource, cfg Config) []Fingerprint {
+	winKeys := make([]string, len(cfg.Windows))
+	for i, w := range cfg.Windows {
+		winKeys[i] = w.Key()
+	}
+	var re rawExec
+	extractRawInto(&re, src, cfg.Metrics, cfg.Windows, cfg.Joint)
+	jointMetric := ""
 	if cfg.Joint {
-		jointMetric := strings.Join(cfg.Metrics, "+")
-		for node := 0; node < src.NodeCount(); node++ {
-			for _, w := range cfg.Windows {
-				parts := make([]string, 0, len(cfg.Metrics))
-				ok := true
-				for _, metric := range cfg.Metrics {
-					mean, have := src.WindowMean(metric, node, w)
-					if !have {
-						ok = false
-						break
-					}
-					parts = append(parts, stats.FormatKey(stats.RoundDepth(mean, cfg.Depth)))
-				}
-				if ok {
-					out = append(out, Fingerprint{
-						Metric: jointMetric,
-						Node:   node,
-						Window: w.String(),
-						Key:    strings.Join(parts, "|"),
-					})
-				}
-			}
-		}
-		return out
+		jointMetric = strings.Join(cfg.Metrics, "+")
 	}
-	for _, metric := range cfg.Metrics {
-		for node := 0; node < src.NodeCount(); node++ {
-			for _, w := range cfg.Windows {
-				if mean, ok := src.WindowMean(metric, node, w); ok {
-					out = append(out, NewFingerprint(metric, node, w, mean, cfg.Depth))
-				}
+	var buf []byte
+	for _, fp := range re.fps {
+		buf = buf[:0]
+		for c := int32(0); c < fp.n; c++ {
+			if c > 0 {
+				buf = append(buf, '|')
 			}
+			buf = stats.AppendRoundedKey(buf, re.means[fp.off+c], cfg.Depth)
 		}
+		metric := jointMetric
+		if !cfg.Joint {
+			metric = cfg.Metrics[fp.metric]
+		}
+		dst = append(dst, Fingerprint{
+			Metric: metric,
+			Node:   int(fp.node),
+			Window: winKeys[fp.window],
+			Key:    string(buf),
+		})
 	}
-	return out
+	return dst
 }

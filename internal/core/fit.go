@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/apps"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/par"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -36,6 +39,12 @@ type FitConfig struct {
 	InnerFolds int
 	// Seed drives the internal fold shuffling.
 	Seed int64
+	// Workers bounds the worker pool of the depth×fold
+	// cross-validation grid: 0 means GOMAXPROCS, 1 runs sequentially.
+	// The selected depth, the report, and the resulting dictionary are
+	// byte-identical at every worker count — parallelism only changes
+	// wall-clock time.
+	Workers int
 }
 
 // DefaultFitConfig returns the paper's headline setting: the single
@@ -58,10 +67,134 @@ type FitReport struct {
 	Folds int
 }
 
+// rawFP locates one fingerprint's unrounded mean component(s) inside a
+// rawExec: the raw means are extracted from the dataset once and
+// re-rounded per candidate depth, instead of re-walking the dataset for
+// every depth of the cross-validation grid.
+type rawFP struct {
+	metric int32 // index into cfg.Metrics (unused for joint keys)
+	node   int32
+	window int32 // index into cfg.Windows
+	off    int32 // offset into rawExec.means
+	n      int32 // component count (1 unless joint)
+}
+
+// rawExec is the depth-independent extraction of one execution.
+type rawExec struct {
+	fps   []rawFP
+	means []float64
+}
+
+// extractRaw walks the source once in Extract order and records every
+// available raw window mean.
+func extractRaw(src WindowSource, metrics []string, windows []telemetry.Window, joint bool) rawExec {
+	var re rawExec
+	extractRawInto(&re, src, metrics, windows, joint)
+	return re
+}
+
+// extractRawInto is extractRaw with reused buffers. It is the single
+// extraction walk of the package: ExtractInto (public Fingerprint
+// form), Learn, the Recognizer, and the Fit grid all consume its
+// output, so iteration order — and therefore learning/tie-break order
+// — cannot drift between paths.
+func extractRawInto(re *rawExec, src WindowSource, metrics []string, windows []telemetry.Window, joint bool) {
+	re.fps = re.fps[:0]
+	re.means = re.means[:0]
+	nodes := src.NodeCount()
+	if joint {
+		for node := 0; node < nodes; node++ {
+			for wi, w := range windows {
+				off := len(re.means)
+				ok := true
+				for _, metric := range metrics {
+					mean, have := src.WindowMean(metric, node, w)
+					if !have {
+						ok = false
+						break
+					}
+					re.means = append(re.means, mean)
+				}
+				if !ok {
+					re.means = re.means[:off]
+					continue
+				}
+				re.fps = append(re.fps, rawFP{
+					node: int32(node), window: int32(wi),
+					off: int32(off), n: int32(len(metrics)),
+				})
+			}
+		}
+		return
+	}
+	for mi, metric := range metrics {
+		for node := 0; node < nodes; node++ {
+			for wi, w := range windows {
+				mean, have := src.WindowMean(metric, node, w)
+				if !have {
+					continue
+				}
+				re.fps = append(re.fps, rawFP{
+					metric: int32(mi), node: int32(node), window: int32(wi),
+					off: int32(len(re.means)), n: 1,
+				})
+				re.means = append(re.means, mean)
+			}
+		}
+	}
+}
+
+// keysFromRaw renders the raw means of re into canonical key bytes at
+// the dictionary's rounding depth, producing exactly the keys
+// extractKeys would have produced from the original source.
+func (d *Dictionary) keysFromRaw(ks *keySet, re rawExec) {
+	ks.buf = ks.buf[:0]
+	ks.refs = ks.refs[:0]
+	depth := d.cfg.Depth
+	for _, fp := range re.fps {
+		start := len(ks.buf)
+		for c := int32(0); c < fp.n; c++ {
+			if c > 0 {
+				ks.buf = append(ks.buf, '|')
+			}
+			ks.buf = stats.AppendRoundedKey(ks.buf, re.means[fp.off+c], depth)
+		}
+		metric := d.planJoint
+		if !d.cfg.Joint {
+			metric = d.planMetrics[fp.metric]
+		}
+		ks.refs = append(ks.refs, keyRef{
+			bk:  bucketKey{metric: metric, window: d.planWindows[fp.window], node: fp.node},
+			off: int32(start), end: int32(len(ks.buf)),
+		})
+	}
+}
+
+// learnRaw inserts the raw extraction of one labelled execution,
+// re-rounded at the dictionary's depth, through the reused key buffer.
+func (d *Dictionary) learnRaw(re rawExec, label apps.Label, ks *keySet) {
+	d.keysFromRaw(ks, re)
+	for _, ref := range ks.refs {
+		d.addKeyBytes(ref.bk, ks.buf[ref.off:ref.end], label, 1)
+	}
+}
+
+// recognizeRaw recognizes a raw extraction at the dictionary's depth.
+func (r *Recognizer) recognizeRaw(re rawExec) Result {
+	r.d.keysFromRaw(&r.ks, re)
+	return r.vote(false)
+}
+
 // Fit learns a dictionary from the training set, selecting the rounding
 // depth by stratified cross-validation within the training set, then
 // building the final dictionary at the chosen depth over all training
 // executions.
+//
+// The depth×fold grid runs on a bounded worker pool (FitConfig.Workers)
+// and each execution's raw window means are extracted once and
+// re-rounded per candidate depth. Assembly is deterministic: the
+// report, scores, and dictionary are byte-identical to a sequential
+// run.
 func Fit(train *dataset.Dataset, cfg FitConfig) (*Dictionary, FitReport, error) {
 	if train.Len() == 0 {
 		return nil, FitReport{}, fmt.Errorf("core: empty training set")
@@ -101,17 +234,67 @@ func Fit(train *dataset.Dataset, cfg FitConfig) (*Dictionary, FitReport, error) 
 		if err != nil {
 			return nil, FitReport{}, err
 		}
-		bestScore := -1.0
-		for _, depth := range depths {
-			var pairs []eval.Pair
-			for _, fold := range kf {
-				d, err := build(train.Subset(fold.Train), cfg, depth)
-				if err != nil {
-					return nil, FitReport{}, err
-				}
-				pairs = append(pairs, Classify(d, train.Subset(fold.Test))...)
+		// Validate the fingerprint configuration once, up front, so
+		// grid workers cannot race on reporting the same error.
+		if err := (Config{Metrics: cfg.Metrics, Windows: cfg.Windows, Depth: depths[0], Joint: cfg.Joint}).Validate(); err != nil {
+			return nil, FitReport{}, err
+		}
+		// Extract each execution's raw means exactly once.
+		raws := make([]rawExec, train.Len())
+		par.For(train.Len(), cfg.Workers, func(i int) {
+			raws[i] = extractRaw(Source(train.Executions[i]), cfg.Metrics, cfg.Windows, cfg.Joint)
+		})
+		// Per-fold training order: ascending execution ID, matching
+		// build(), so per-fold dictionaries are identical to the ones
+		// the sequential path constructed.
+		trainOrder := make([][]int, len(kf))
+		for fi, fold := range kf {
+			idx := append([]int(nil), fold.Train...)
+			sort.Slice(idx, func(a, b int) bool {
+				return train.Executions[idx[a]].ID < train.Executions[idx[b]].ID
+			})
+			trainOrder[fi] = idx
+		}
+		// The grid: one task per (depth, fold) cell, results written
+		// into task-indexed slots and assembled in depth-major order
+		// below, so scores never depend on scheduling.
+		nf := len(kf)
+		cells := make([][]eval.Pair, len(depths)*nf)
+		errs := make([]error, len(cells))
+		par.For(len(cells), cfg.Workers, func(t int) {
+			di, fi := t/nf, t%nf
+			d, err := NewDictionary(Config{Metrics: cfg.Metrics, Windows: cfg.Windows, Depth: depths[di], Joint: cfg.Joint})
+			if err != nil {
+				errs[t] = err
+				return
 			}
-			score := eval.F1Macro(pairs)
+			var ks keySet
+			for _, i := range trainOrder[fi] {
+				d.learnRaw(raws[i], train.Executions[i].Label, &ks)
+			}
+			rec := d.NewRecognizer()
+			pairs := make([]eval.Pair, len(kf[fi].Test))
+			for pi, i := range kf[fi].Test {
+				pairs[pi] = eval.Pair{
+					Truth: train.Executions[i].Label.App,
+					Pred:  rec.recognizeRaw(raws[i]).Top(),
+				}
+			}
+			cells[t] = pairs
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, FitReport{}, err
+			}
+		}
+		bestScore := -1.0
+		var pooled []eval.Pair
+		for di, depth := range depths {
+			pooled = pooled[:0]
+			for fi := 0; fi < nf; fi++ {
+				pooled = append(pooled, cells[di*nf+fi]...)
+			}
+			score := eval.F1Macro(pooled)
 			report.DepthScores[depth] = score
 			// Strict improvement keeps the tie-break at the smaller
 			// (more pruned, more general) depth.
@@ -157,11 +340,27 @@ func Build(ds *dataset.Dataset, cfg Config) (*Dictionary, error) {
 // correctness criterion follows the paper: only the application name is
 // compared, so returning ft for an ft execution with a different input
 // size is correct.
+//
+// Executions are evaluated concurrently in contiguous chunks (one
+// reused Recognizer per chunk) on up to GOMAXPROCS goroutines; the
+// returned pair order is the dataset order regardless of scheduling.
+// Use ClassifyWorkers to bound (or serialize) the pool.
 func Classify(d *Dictionary, ds *dataset.Dataset) []eval.Pair {
-	pairs := make([]eval.Pair, 0, ds.Len())
-	for _, e := range ds.Executions {
-		res := d.Recognize(Source(e))
-		pairs = append(pairs, eval.Pair{Truth: e.Label.App, Pred: res.Top()})
-	}
+	return ClassifyWorkers(d, ds, 0)
+}
+
+// ClassifyWorkers is Classify with an explicit worker bound: 0 means
+// GOMAXPROCS, 1 runs single-threaded (profiling, or embedding inside
+// an already-parallel caller). The pair order is identical at every
+// worker count.
+func ClassifyWorkers(d *Dictionary, ds *dataset.Dataset, workers int) []eval.Pair {
+	pairs := make([]eval.Pair, ds.Len())
+	par.Chunks(ds.Len(), workers, 16, func(lo, hi int) {
+		rec := d.NewRecognizer()
+		for i := lo; i < hi; i++ {
+			e := ds.Executions[i]
+			pairs[i] = eval.Pair{Truth: e.Label.App, Pred: rec.Recognize(Source(e)).Top()}
+		}
+	})
 	return pairs
 }

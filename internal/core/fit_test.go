@@ -192,7 +192,7 @@ func TestVoteBoundsProperty(t *testing.T) {
 		if res.Matched > res.Total {
 			t.Fatalf("Matched %d > Total %d", res.Matched, res.Total)
 		}
-		for app, v := range res.Votes {
+		for app, v := range res.Votes() {
 			if v > res.Matched {
 				t.Fatalf("votes for %s (%d) exceed matched keys (%d)", app, v, res.Matched)
 			}

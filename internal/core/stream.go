@@ -13,10 +13,20 @@ import (
 // configured window has closed — two minutes into the execution for the
 // paper's configuration. This is the low-latency deployment mode that
 // motivates the EFD over whole-execution ML pipelines.
+//
+// Accumulators are keyed by the Window value itself (not its string
+// form), so Feed performs no formatting and, once every configured
+// (metric, node, window) accumulator exists, no allocation per sample.
+//
+// A Stream is not safe for concurrent use; the HTTP server serializes
+// access per job.
 type Stream struct {
 	dict  *Dictionary
 	nodes int
 	acc   map[streamKey]*stats.Online
+	// rec is the stream's reused recognizer, so repeated polling of
+	// Recognize allocates nothing once warmed.
+	rec *Recognizer
 	// horizon is the largest window end; recognition is final once
 	// telemetry at or beyond this offset has been fed.
 	horizon time.Duration
@@ -26,7 +36,7 @@ type Stream struct {
 type streamKey struct {
 	metric string
 	node   int
-	window string
+	window telemetry.Window
 }
 
 // NewStream returns a streaming recognizer against the dictionary for
@@ -36,6 +46,7 @@ func NewStream(d *Dictionary, nodes int) *Stream {
 		dict:  d,
 		nodes: nodes,
 		acc:   make(map[streamKey]*stats.Online),
+		rec:   d.NewRecognizer(),
 	}
 	for _, w := range d.cfg.Windows {
 		if w.End > s.horizon {
@@ -69,7 +80,7 @@ func (s *Stream) Feed(metric string, node int, offset time.Duration, value float
 		if !w.Contains(offset) {
 			continue
 		}
-		k := streamKey{metric: metric, node: node, window: w.String()}
+		k := streamKey{metric: metric, node: node, window: w}
 		acc, ok := s.acc[k]
 		if !ok {
 			acc = &stats.Online{}
@@ -85,7 +96,7 @@ func (s *Stream) Complete() bool { return s.seen >= s.horizon }
 
 // WindowMean implements WindowSource over the accumulated stream.
 func (s *Stream) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
-	acc, ok := s.acc[streamKey{metric: metric, node: node, window: w.String()}]
+	acc, ok := s.acc[streamKey{metric: metric, node: node, window: w}]
 	if !ok || acc.Count() == 0 {
 		return 0, false
 	}
@@ -98,7 +109,9 @@ func (s *Stream) NodeCount() int { return s.nodes }
 // Recognize answers with the current accumulated state. Calling it
 // before Complete() returns a provisional answer based on partial
 // windows; once Complete(), the answer is identical to offline
-// recognition of the same telemetry.
+// recognition of the same telemetry. The Result borrows the stream's
+// reused recognizer scratch and is valid until the next Recognize call
+// on this stream.
 func (s *Stream) Recognize() Result {
-	return s.dict.Recognize(s)
+	return s.rec.Recognize(s)
 }

@@ -167,6 +167,7 @@ func LoadCSV(r io.Reader) (*Dataset, error) {
 			}
 			nms.WindowMeans[win.String()] = v
 		}
+		nms.indexWindows()
 		per[node] = nms
 	}
 

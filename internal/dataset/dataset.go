@@ -25,10 +25,33 @@ type NodeMetricStats struct {
 	// Full is the summary over the entire execution (what Taxonomist
 	// consumes).
 	Full stats.Summary
-	// WindowMeans maps a window key (Window.String()) to the mean of
+	// WindowMeans maps a window key (Window.Key()) to the mean of
 	// the samples in that window. Windows the series does not cover
-	// are absent (what the EFD consumes).
+	// are absent (what the EFD consumes). This is the canonical,
+	// serialized form; the recognition hot path reads byWindow instead.
 	WindowMeans map[string]float64
+	// byWindow indexes WindowMeans by the Window value itself, so the
+	// per-probe lookup in Execution.WindowMean needs no string
+	// formatting or allocation. Built by indexWindows (Summarize and
+	// the CSV loader call it); when nil, WindowMean falls back to the
+	// string-keyed map.
+	byWindow map[telemetry.Window]float64
+}
+
+// indexWindows (re)builds the Window-keyed view of WindowMeans. It is
+// called at construction time; executions assembled by hand work
+// without it through the string-keyed fallback.
+func (nms *NodeMetricStats) indexWindows() {
+	if nms.WindowMeans == nil {
+		nms.byWindow = nil
+		return
+	}
+	nms.byWindow = make(map[telemetry.Window]float64, len(nms.WindowMeans))
+	for ks, v := range nms.WindowMeans {
+		if w, err := telemetry.ParseWindow(ks); err == nil {
+			nms.byWindow[w] = v
+		}
+	}
 }
 
 // Execution is one labelled run: the unit of recognition.
@@ -46,14 +69,31 @@ type Execution struct {
 }
 
 // WindowMean returns the stored mean of metric on node over the window,
-// if present.
+// if present. Executions built by Summarize or the CSV loader answer
+// through a Window-indexed map (no string formatting, no allocation);
+// hand-assembled executions fall back to the WindowMeans string keys.
 func (e *Execution) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
 	per, ok := e.Stats[metric]
 	if !ok || node < 0 || node >= len(per) {
 		return 0, false
 	}
-	v, ok := per[node].WindowMeans[w.String()]
+	if idx := per[node].byWindow; idx != nil {
+		v, ok := idx[w]
+		return v, ok
+	}
+	v, ok := per[node].WindowMeans[w.Key()]
 	return v, ok
+}
+
+// IndexWindows builds the Window-indexed lookup of every node/metric
+// summary, upgrading hand-assembled executions to the allocation-free
+// WindowMean path. Summarize and the CSV loader call it automatically.
+func (e *Execution) IndexWindows() {
+	for _, per := range e.Stats {
+		for i := range per {
+			per[i].indexWindows()
+		}
+	}
 }
 
 // Metrics returns the sorted metric names present in the execution.
@@ -100,6 +140,12 @@ func Summarize(id int, label apps.Label, ns *telemetry.NodeSet, windows []teleme
 		Duration: ns.Duration(),
 		Stats:    make(map[string][]NodeMetricStats),
 	}
+	// Window key strings are computed once per Summarize call, not per
+	// (metric, node, window) probe.
+	winKeys := make([]string, len(windows))
+	for i, w := range windows {
+		winKeys[i] = w.Key()
+	}
 	for _, metric := range ns.Metrics() {
 		per := make([]NodeMetricStats, len(nodes))
 		for i, node := range nodes {
@@ -110,10 +156,12 @@ func Summarize(id int, label apps.Label, ns *telemetry.NodeSet, windows []teleme
 			nms := NodeMetricStats{
 				Full:        stats.Describe(s.Values()),
 				WindowMeans: make(map[string]float64, len(windows)),
+				byWindow:    make(map[telemetry.Window]float64, len(windows)),
 			}
-			for _, w := range windows {
+			for wi, w := range windows {
 				if mean, err := s.WindowMean(w); err == nil {
-					nms.WindowMeans[w.String()] = mean
+					nms.WindowMeans[winKeys[wi]] = mean
+					nms.byWindow[w] = mean
 				}
 			}
 			per[i] = nms

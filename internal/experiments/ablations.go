@@ -30,7 +30,7 @@ func (h *Harness) DepthAblation(depths []int) (map[int]float64, error) {
 			if err != nil {
 				return nil, err
 			}
-			pairs = append(pairs, core.Classify(d, h.DS.Subset(f.Test))...)
+			pairs = append(pairs, core.ClassifyWorkers(d, h.DS.Subset(f.Test), h.Fit.Workers)...)
 		}
 		out[depth] = eval.F1Macro(pairs)
 	}
@@ -59,7 +59,7 @@ func (h *Harness) IntervalAblation(windows []telemetry.Window) (map[string]float
 			if err != nil {
 				return nil, err
 			}
-			pairs = append(pairs, core.Classify(d, h.DS.Subset(f.Test))...)
+			pairs = append(pairs, core.ClassifyWorkers(d, h.DS.Subset(f.Test), h.Fit.Workers)...)
 		}
 		out[w.String()] = eval.F1Macro(pairs)
 	}
@@ -98,7 +98,7 @@ func (h *Harness) VotingAblation() (allNodes, singleNode float64, err error) {
 			return 0, 0, err
 		}
 		test := h.DS.Subset(f.Test)
-		full = append(full, core.Classify(d, test)...)
+		full = append(full, core.ClassifyWorkers(d, test, h.Fit.Workers)...)
 		for _, e := range test.Executions {
 			res := d.Recognize(singleNodeSource{src: core.Source(e), node: 0})
 			single = append(single, eval.Pair{Truth: e.Label.App, Pred: res.Top()})

@@ -13,10 +13,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/par"
 	"repro/internal/taxonomist"
 )
 
-// Harness runs the evaluation protocols over one dataset.
+// Harness runs the evaluation protocols over one dataset. Outer folds
+// evaluate concurrently on a bounded worker pool; per-fold results are
+// assembled in fold order, so every protocol score is byte-identical to
+// a sequential run.
 type Harness struct {
 	// DS is the labelled dataset.
 	DS *dataset.Dataset
@@ -29,6 +33,9 @@ type Harness struct {
 	// Taxo configures the Taxonomist baseline; nil skips it (the
 	// baseline costs far more compute than the EFD).
 	Taxo *TaxoConfig
+	// Workers bounds the outer-fold worker pool: 0 means GOMAXPROCS,
+	// 1 runs folds sequentially. Scores do not depend on it.
+	Workers int
 }
 
 // TaxoConfig bundles the baseline settings.
@@ -82,7 +89,7 @@ func (h *Harness) efdPairs(train, test *dataset.Dataset, unknownApps map[string]
 	if err != nil {
 		return nil, err
 	}
-	pairs := core.Classify(d, test)
+	pairs := core.ClassifyWorkers(d, test, h.Fit.Workers)
 	for i, e := range test.Executions {
 		if unknownApps[e.Label.App] {
 			pairs[i].Truth = core.Unknown
@@ -124,19 +131,41 @@ func (h *Harness) taxoPairs(train, test *dataset.Dataset, unknownApps map[string
 	return pairs, nil
 }
 
+// foldPairs carries one fold's classification outcomes.
+type foldPairs struct {
+	efd  []eval.Pair
+	taxo []eval.Pair
+}
+
+// concat appends other's pairs, preserving order.
+func (fp *foldPairs) concat(other foldPairs) {
+	fp.efd = append(fp.efd, other.efd...)
+	fp.taxo = append(fp.taxo, other.taxo...)
+}
+
 // foldRun calls fn once per outer fold with the fold's train and test
-// subsets.
-func (h *Harness) foldRun(fn func(train, test *dataset.Dataset) error) error {
+// subsets, running folds concurrently on the harness worker pool, and
+// returns the concatenation of the per-fold results in fold order —
+// exactly the sequence a sequential loop with appends would have
+// produced. The first error (by fold index) wins.
+func (h *Harness) foldRun(fn func(train, test *dataset.Dataset) (foldPairs, error)) (foldPairs, error) {
 	folds, err := h.DS.KFold(h.Folds, h.Seed)
 	if err != nil {
-		return err
+		return foldPairs{}, err
 	}
-	for _, f := range folds {
-		if err := fn(h.DS.Subset(f.Train), h.DS.Subset(f.Test)); err != nil {
-			return err
+	outs := make([]foldPairs, len(folds))
+	errs := make([]error, len(folds))
+	par.For(len(folds), h.Workers, func(i int) {
+		outs[i], errs[i] = fn(h.DS.Subset(folds[i].Train), h.DS.Subset(folds[i].Test))
+	})
+	var merged foldPairs
+	for i := range outs {
+		if errs[i] != nil {
+			return foldPairs{}, errs[i]
 		}
+		merged.concat(outs[i])
 	}
-	return nil
+	return merged, nil
 }
 
 // meanOf averages the values of a per-dimension score map.

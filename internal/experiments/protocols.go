@@ -5,39 +5,45 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/par"
 )
+
+// protocolFold evaluates one fold for a protocol: EFD pairs always,
+// baseline pairs when configured.
+func (h *Harness) protocolFold(train, test *dataset.Dataset, unknownApps map[string]bool) (foldPairs, error) {
+	var fp foldPairs
+	p, err := h.efdPairs(train, test, unknownApps)
+	if err != nil {
+		return fp, err
+	}
+	fp.efd = p
+	if h.Taxo != nil {
+		fp.taxo, err = h.taxoPairs(train, test, unknownApps)
+		if err != nil {
+			return fp, err
+		}
+	}
+	return fp, nil
+}
 
 // NormalFold runs protocol 1: 5-fold cross-validation on the full
 // dataset — every application and input size appears in both learning
 // and testing.
 func (h *Harness) NormalFold() (Score, error) {
 	s := Score{Protocol: "normal fold"}
-	var efd, taxo []eval.Pair
-	err := h.foldRun(func(train, test *dataset.Dataset) error {
-		p, err := h.efdPairs(train, test, nil)
-		if err != nil {
-			return err
-		}
-		efd = append(efd, p...)
-		if h.Taxo != nil {
-			tp, err := h.taxoPairs(train, test, nil)
-			if err != nil {
-				return err
-			}
-			taxo = append(taxo, tp...)
-		}
-		return nil
+	merged, err := h.foldRun(func(train, test *dataset.Dataset) (foldPairs, error) {
+		return h.protocolFold(train, test, nil)
 	})
 	if err != nil {
 		return s, err
 	}
-	s.Report, err = eval.Evaluate(efd)
+	s.Report, err = eval.Evaluate(merged.efd)
 	if err != nil {
 		return s, err
 	}
 	s.EFD = s.Report.MacroF1
 	if h.Taxo != nil {
-		s.Taxonomist = eval.F1Macro(taxo)
+		s.Taxonomist = eval.F1Macro(merged.taxo)
 		s.HasTaxonomist = true
 	}
 	return s, nil
@@ -53,28 +59,15 @@ func (h *Harness) SoftInput() (Score, error) {
 	s := Score{Protocol: "soft input", PerDimension: make(map[string]float64)}
 	var allEFD, allTaxo []eval.Pair
 	for _, in := range h.removableInputs() {
-		var efd, taxo []eval.Pair
-		err := h.foldRun(func(train, test *dataset.Dataset) error {
-			p, err := h.efdPairs(train.WithoutInput(in), test, nil)
-			if err != nil {
-				return err
-			}
-			efd = append(efd, p...)
-			if h.Taxo != nil {
-				tp, err := h.taxoPairs(train.WithoutInput(in), test, nil)
-				if err != nil {
-					return err
-				}
-				taxo = append(taxo, tp...)
-			}
-			return nil
+		merged, err := h.foldRun(func(train, test *dataset.Dataset) (foldPairs, error) {
+			return h.protocolFold(train.WithoutInput(in), test, nil)
 		})
 		if err != nil {
 			return s, err
 		}
-		s.PerDimension[string(in)] = eval.F1Macro(efd)
-		allEFD = append(allEFD, efd...)
-		allTaxo = append(allTaxo, taxo...)
+		s.PerDimension[string(in)] = eval.F1Macro(merged.efd)
+		allEFD = append(allEFD, merged.efd...)
+		allTaxo = append(allTaxo, merged.taxo...)
 	}
 	s.EFD = meanOf(s.PerDimension)
 	var err error
@@ -99,28 +92,15 @@ func (h *Harness) SoftUnknown() (Score, error) {
 	var allEFD, allTaxo []eval.Pair
 	for _, app := range h.DS.Apps() {
 		unknown := map[string]bool{app: true}
-		var efd, taxo []eval.Pair
-		err := h.foldRun(func(train, test *dataset.Dataset) error {
-			p, err := h.efdPairs(train.WithoutApp(app), test, unknown)
-			if err != nil {
-				return err
-			}
-			efd = append(efd, p...)
-			if h.Taxo != nil {
-				tp, err := h.taxoPairs(train.WithoutApp(app), test, unknown)
-				if err != nil {
-					return err
-				}
-				taxo = append(taxo, tp...)
-			}
-			return nil
+		merged, err := h.foldRun(func(train, test *dataset.Dataset) (foldPairs, error) {
+			return h.protocolFold(train.WithoutApp(app), test, unknown)
 		})
 		if err != nil {
 			return s, err
 		}
-		s.PerDimension[app] = eval.F1Macro(efd)
-		allEFD = append(allEFD, efd...)
-		allTaxo = append(allTaxo, taxo...)
+		s.PerDimension[app] = eval.F1Macro(merged.efd)
+		allEFD = append(allEFD, merged.efd...)
+		allTaxo = append(allTaxo, merged.taxo...)
 	}
 	s.EFD = meanOf(s.PerDimension)
 	var err error
@@ -141,19 +121,26 @@ func (h *Harness) SoftUnknown() (Score, error) {
 // are averaged over the held-out inputs.
 func (h *Harness) HardInput() (Score, error) {
 	s := Score{Protocol: "hard input", PerDimension: make(map[string]float64)}
-	var all []eval.Pair
-	for _, in := range h.removableInputs() {
+	inputs := h.removableInputs()
+	dims := make([][]eval.Pair, len(inputs))
+	errs := make([]error, len(inputs))
+	par.For(len(inputs), h.Workers, func(i int) {
+		in := inputs[i]
 		train := h.DS.WithoutInput(in)
 		test := h.DS.OnlyInput(in)
 		if train.Len() == 0 || test.Len() == 0 {
-			return s, fmt.Errorf("experiments: hard input %s yields an empty split", in)
+			errs[i] = fmt.Errorf("experiments: hard input %s yields an empty split", in)
+			return
 		}
-		pairs, err := h.efdPairs(train, test, nil)
-		if err != nil {
-			return s, err
+		dims[i], errs[i] = h.efdPairs(train, test, nil)
+	})
+	var all []eval.Pair
+	for i, in := range inputs {
+		if errs[i] != nil {
+			return s, errs[i]
 		}
-		s.PerDimension[string(in)] = eval.F1Macro(pairs)
-		all = append(all, pairs...)
+		s.PerDimension[string(in)] = eval.F1Macro(dims[i])
+		all = append(all, dims[i]...)
 	}
 	s.EFD = meanOf(s.PerDimension)
 	var err error
@@ -169,19 +156,26 @@ func (h *Harness) HardInput() (Score, error) {
 // averaged over the held-out applications.
 func (h *Harness) HardUnknown() (Score, error) {
 	s := Score{Protocol: "hard unknown", PerDimension: make(map[string]float64)}
-	var all []eval.Pair
-	for _, app := range h.DS.Apps() {
+	appNames := h.DS.Apps()
+	dims := make([][]eval.Pair, len(appNames))
+	errs := make([]error, len(appNames))
+	par.For(len(appNames), h.Workers, func(i int) {
+		app := appNames[i]
 		train := h.DS.WithoutApp(app)
 		test := h.DS.OnlyApp(app)
 		if train.Len() == 0 || test.Len() == 0 {
-			return s, fmt.Errorf("experiments: hard unknown %s yields an empty split", app)
+			errs[i] = fmt.Errorf("experiments: hard unknown %s yields an empty split", app)
+			return
 		}
-		pairs, err := h.efdPairs(train, test, map[string]bool{app: true})
-		if err != nil {
-			return s, err
+		dims[i], errs[i] = h.efdPairs(train, test, map[string]bool{app: true})
+	})
+	var all []eval.Pair
+	for i, app := range appNames {
+		if errs[i] != nil {
+			return s, errs[i]
 		}
-		s.PerDimension[app] = eval.F1Macro(pairs)
-		all = append(all, pairs...)
+		s.PerDimension[app] = eval.F1Macro(dims[i])
+		all = append(all, dims[i]...)
 	}
 	s.EFD = meanOf(s.PerDimension)
 	var err error

@@ -1,13 +1,12 @@
 package experiments
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/par"
 )
 
 // MetricScore is one row of Table 3: a system metric and its
@@ -34,38 +33,29 @@ func (h *Harness) MetricSweep(metrics []string) ([]MetricScore, error) {
 	}
 	out := make([]MetricScore, len(metrics))
 	errs := make([]error, len(metrics))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, metric := range metrics {
-		wg.Add(1)
-		go func(i int, metric string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fit := h.Fit
-			fit.Metrics = []string{metric}
-			var pairs []eval.Pair
-			depthVotes := make(map[int]int)
-			for _, f := range folds {
-				d, rep, err := core.Fit(h.DS.Subset(f.Train), fit)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				depthVotes[rep.BestDepth]++
-				pairs = append(pairs, core.Classify(d, h.DS.Subset(f.Test))...)
+	par.For(len(metrics), h.Workers, func(i int) {
+		metric := metrics[i]
+		fit := h.Fit
+		fit.Metrics = []string{metric}
+		var pairs []eval.Pair
+		depthVotes := make(map[int]int)
+		for _, f := range folds {
+			d, rep, err := core.Fit(h.DS.Subset(f.Train), fit)
+			if err != nil {
+				errs[i] = err
+				return
 			}
-			best, bestVotes := 0, -1
-			for depth, v := range depthVotes {
-				if v > bestVotes || (v == bestVotes && depth < best) {
-					best, bestVotes = depth, v
-				}
+			depthVotes[rep.BestDepth]++
+			pairs = append(pairs, core.ClassifyWorkers(d, h.DS.Subset(f.Test), h.Fit.Workers)...)
+		}
+		best, bestVotes := 0, -1
+		for depth, v := range depthVotes {
+			if v > bestVotes || (v == bestVotes && depth < best) {
+				best, bestVotes = depth, v
 			}
-			out[i] = MetricScore{Metric: metric, FScore: eval.F1Macro(pairs), Depth: best}
-		}(i, metric)
-	}
-	wg.Wait()
+		}
+		out[i] = MetricScore{Metric: metric, FScore: eval.F1Macro(pairs), Depth: best}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -97,6 +97,11 @@ func ReadNodeCSV(r io.Reader, node int) (*telemetry.NodeSet, error) {
 	}
 	ns := telemetry.NewNodeSet()
 	for _, s := range series {
+		// CSV rows are not guaranteed time-ordered; restore order here
+		// so windowing never sees an unsorted series.
+		if !s.Sorted() {
+			s.Sort()
+		}
 		ns.Put(s)
 	}
 	return ns, nil

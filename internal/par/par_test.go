@@ -1,0 +1,55 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 237
+		hits := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	For(0, 4, func(int) { t.Fatal("fn must not run for n=0") })
+}
+
+func TestChunksPartitionExactly(t *testing.T) {
+	for _, tc := range []struct{ n, workers, minChunk int }{
+		{100, 4, 1}, {100, 4, 16}, {5, 8, 16}, {1, 8, 1}, {64, 3, 10},
+	} {
+		hits := make([]int32, tc.n)
+		Chunks(tc.n, tc.workers, tc.minChunk, func(lo, hi int) {
+			if hi-lo < 1 {
+				t.Fatalf("empty chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d minChunk=%d: index %d covered %d times",
+					tc.n, tc.workers, tc.minChunk, i, h)
+			}
+		}
+	}
+	Chunks(0, 4, 1, func(int, int) { t.Fatal("fn must not run for n=0") })
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}

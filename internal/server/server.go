@@ -210,6 +210,9 @@ func (s *Server) handleResult(w http.ResponseWriter, id string) {
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
+	// The stream's recognizer scratch is reused across polls (we hold
+	// s.mu, so no concurrent call can invalidate the result); only the
+	// JSON wire form below allocates.
 	res := j.stream.Recognize()
 	writeJSON(w, http.StatusOK, jobState{
 		JobID:      id,
@@ -217,7 +220,7 @@ func (s *Server) handleResult(w http.ResponseWriter, id string) {
 		Recognized: res.Recognized(),
 		Top:        res.Top(),
 		Apps:       res.Apps,
-		Votes:      res.Votes,
+		Votes:      res.Votes(),
 		Confidence: res.Confidence(),
 		Matched:    res.Matched,
 		Total:      res.Total,

@@ -9,6 +9,7 @@ package stats
 import (
 	"math"
 	"strconv"
+	"unsafe"
 )
 
 // MaxRoundDepth is the largest rounding depth accepted by RoundDepth.
@@ -45,15 +46,28 @@ func RoundDepth(x float64, depth int) float64 {
 		depth = MaxRoundDepth
 	}
 	// Format with exactly `depth` significant digits; strconv performs
-	// correct round-half-to-even decimal rounding, then parse back.
-	s := strconv.FormatFloat(x, 'e', depth-1, 64)
-	v, err := strconv.ParseFloat(s, 64)
+	// correct round-half-to-even decimal rounding, then parse back. The
+	// round trip runs through a stack buffer so the recognition hot
+	// path stays allocation-free.
+	var buf [32]byte
+	s := strconv.AppendFloat(buf[:0], x, 'e', depth-1, 64)
+	v, err := strconv.ParseFloat(bytesAsString(s), 64)
 	if err != nil {
-		// Cannot happen for output of FormatFloat; keep the original
+		// Cannot happen for output of AppendFloat; keep the original
 		// value rather than panic in a measurement path.
 		return x
 	}
 	return v
+}
+
+// bytesAsString views b as a string without copying. The bytes must not
+// be mutated while the string is in use; every caller here only passes
+// the view to strconv.ParseFloat, which neither retains nor mutates it.
+func bytesAsString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 // RoundHalfUpDepth is a variant of RoundDepth that breaks ties away from
@@ -157,4 +171,20 @@ func FormatKey(x float64) string {
 // ParseKey parses a string produced by FormatKey back into a float64.
 func ParseKey(s string) (float64, error) {
 	return strconv.ParseFloat(s, 64)
+}
+
+// AppendKey appends FormatKey(x) to dst and returns the extended slice.
+// It is the allocation-free form of FormatKey for hot paths that build
+// dictionary keys into reused buffers.
+func AppendKey(dst []byte, x float64) []byte {
+	return strconv.AppendFloat(dst, x, 'g', -1, 64)
+}
+
+// AppendRoundedKey appends FormatKey(RoundDepth(x, depth)) to dst — the
+// canonical dictionary-key bytes of a raw mean at the given rounding
+// depth — without any intermediate string allocation. The produced
+// bytes are byte-identical to the string path, so keys built this way
+// match keys built via NewFingerprint exactly.
+func AppendRoundedKey(dst []byte, x float64, depth int) []byte {
+	return AppendKey(dst, RoundDepth(x, depth))
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -24,12 +25,20 @@ type Sample struct {
 }
 
 // Series is an ordered sequence of samples of a single metric on a
-// single node. Samples are kept sorted by offset; Append enforces
-// ordering for the common in-order case and Sort restores it otherwise.
+// single node. Samples are kept sorted by offset; Append tracks whether
+// samples arrived in order (the monitoring path), and the windowing
+// accessors refuse flagged-unsorted data with ErrUnsortedSeries rather
+// than binary-search over it — call Sort after out-of-order ingestion.
+// Refusing (instead of sorting lazily) keeps Slice and WindowMean
+// read-only, so concurrent reads of a sorted series stay safe.
+// Mutating Samples directly bypasses the tracking; call Sort afterwards.
 type Series struct {
 	Metric  string
 	Node    int
 	Samples []Sample
+	// unsorted records that an Append delivered an offset below the
+	// then-last sample, so the samples need a Sort before windowing.
+	unsorted bool
 }
 
 // NewSeries returns an empty series for the given metric and node with
@@ -40,17 +49,26 @@ func NewSeries(metric string, node, n int) *Series {
 
 // Append adds a sample, keeping the series sorted when samples arrive in
 // order (the monitoring path). Out-of-order appends are accepted and
-// flagged for a later Sort.
+// flagged; windowing fails with ErrUnsortedSeries until Sort runs.
 func (s *Series) Append(offset time.Duration, value float64) {
+	if n := len(s.Samples); n > 0 && offset < s.Samples[n-1].Offset {
+		s.unsorted = true
+	}
 	s.Samples = append(s.Samples, Sample{Offset: offset, Value: value})
 }
 
-// Sort orders the samples by offset. Ties keep their relative order.
+// Sort orders the samples by offset and clears the out-of-order flag.
+// Ties keep their relative order.
 func (s *Series) Sort() {
 	sort.SliceStable(s.Samples, func(i, j int) bool {
 		return s.Samples[i].Offset < s.Samples[j].Offset
 	})
+	s.unsorted = false
 }
+
+// Sorted reports whether every Append so far arrived in offset order
+// (or a Sort ran since the last out-of-order one).
+func (s *Series) Sorted() bool { return !s.unsorted }
 
 // Len reports the number of samples.
 func (s *Series) Len() int { return len(s.Samples) }
@@ -87,8 +105,22 @@ var PaperWindow = Window{Start: 60 * time.Second, End: 120 * time.Second}
 
 // String renders the window in the paper's "[60:120]" notation
 // (seconds).
-func (w Window) String() string {
-	return fmt.Sprintf("[%d:%d]", int(w.Start.Seconds()), int(w.End.Seconds()))
+func (w Window) String() string { return w.Key() }
+
+// Key returns the window's canonical "[60:120]" encoding — the form
+// used as the window component of fingerprint keys and serialized
+// dictionaries. It builds the string directly (no fmt machinery), so
+// callers that need the key once per window can afford it; hot paths
+// should still compute it once and reuse it, or index by the Window
+// value itself, which is comparable.
+func (w Window) Key() string {
+	var buf [32]byte
+	b := append(buf[:0], '[')
+	b = strconv.AppendInt(b, int64(w.Start/time.Second), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(w.End/time.Second), 10)
+	b = append(b, ']')
+	return string(b)
 }
 
 // Valid reports whether the window is non-empty and non-negative.
@@ -121,23 +153,44 @@ func ParseWindow(s string) (Window, error) {
 // window.
 var ErrShortSeries = errors.New("telemetry: series does not cover window")
 
-// Slice returns the values of the samples falling in the window. It
-// returns ErrShortSeries when the series ends before the window starts
-// or contains no samples in the window, so callers can distinguish "the
-// application finished early" from "the application was idle".
-func (s *Series) Slice(w Window) ([]float64, error) {
+// ErrUnsortedSeries is returned by the windowing accessors when
+// out-of-order appends were observed and Sort has not run since: a
+// binary search over unsorted samples would silently return wrong
+// windows.
+var ErrUnsortedSeries = errors.New("telemetry: series has out-of-order samples; call Sort first")
+
+// window binary-searches the [lo, hi) sample range covered by w. It is
+// strictly read-only: flagged-unsorted series are rejected, never
+// sorted in place, so concurrent reads of a well-formed series are
+// race-free.
+func (s *Series) window(w Window) (lo, hi int, err error) {
 	if !w.Valid() {
-		return nil, fmt.Errorf("telemetry: invalid window %v", w)
+		return 0, 0, fmt.Errorf("telemetry: invalid window %v", w)
 	}
-	// Binary search for the window boundaries; samples are sorted.
-	lo := sort.Search(len(s.Samples), func(i int) bool {
+	if s.unsorted {
+		return 0, 0, ErrUnsortedSeries
+	}
+	lo = sort.Search(len(s.Samples), func(i int) bool {
 		return s.Samples[i].Offset >= w.Start
 	})
-	hi := sort.Search(len(s.Samples), func(i int) bool {
+	hi = sort.Search(len(s.Samples), func(i int) bool {
 		return s.Samples[i].Offset >= w.End
 	})
 	if lo == hi {
-		return nil, ErrShortSeries
+		return 0, 0, ErrShortSeries
+	}
+	return lo, hi, nil
+}
+
+// Slice returns the values of the samples falling in the window. It
+// returns ErrShortSeries when the series ends before the window starts
+// or contains no samples in the window, so callers can distinguish "the
+// application finished early" from "the application was idle", and
+// ErrUnsortedSeries when out-of-order appends have not been Sorted yet.
+func (s *Series) Slice(w Window) ([]float64, error) {
+	lo, hi, err := s.window(w)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, 0, hi-lo)
 	for _, sm := range s.Samples[lo:hi] {
@@ -147,19 +200,22 @@ func (s *Series) Slice(w Window) ([]float64, error) {
 }
 
 // WindowMean returns the arithmetic mean of the samples in the window.
+// It iterates the sample range directly (Kahan-compensated) without
+// materializing a values slice, so recognition over raw telemetry does
+// not allocate per probe.
 func (s *Series) WindowMean(w Window) (float64, error) {
-	vals, err := s.Slice(w)
+	lo, hi, err := s.window(w)
 	if err != nil {
 		return 0, err
 	}
 	var sum, comp float64
-	for _, v := range vals {
-		y := v - comp
+	for _, sm := range s.Samples[lo:hi] {
+		y := sm.Value - comp
 		t := sum + y
 		comp = (t - sum) - y
 		sum = t
 	}
-	return sum / float64(len(vals)), nil
+	return sum / float64(hi-lo), nil
 }
 
 // Resample returns a copy of the series re-gridded to the given period

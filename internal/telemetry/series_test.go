@@ -43,15 +43,65 @@ func TestSeriesSort(t *testing.T) {
 	s.Append(sec(2), 30)
 	s.Append(sec(0), 10)
 	s.Append(sec(1), 20)
+	if s.Sorted() {
+		t.Error("out-of-order appends should clear Sorted")
+	}
 	if err := s.Validate(); err == nil {
 		t.Fatal("out-of-order series should fail validation")
 	}
 	s.Sort()
+	if !s.Sorted() {
+		t.Error("Sort should restore Sorted")
+	}
 	if err := s.Validate(); err != nil {
 		t.Fatalf("sorted series should validate: %v", err)
 	}
 	if s.Samples[0].Value != 10 || s.Samples[2].Value != 30 {
 		t.Errorf("sort order wrong: %+v", s.Samples)
+	}
+}
+
+// TestUnsortedSeriesWindowing covers the Append/Slice contract: the
+// binary search used by Slice and WindowMean must not silently return
+// wrong windows when samples arrived out of order — windowing fails
+// with ErrUnsortedSeries until an explicit Sort restores order.
+func TestUnsortedSeriesWindowing(t *testing.T) {
+	ordered := NewSeries("m", 0, 0)
+	shuffled := NewSeries("m", 0, 0)
+	for i := 0; i < 180; i++ {
+		ordered.Append(sec(i), float64(i))
+	}
+	// Deliver the same samples in a scrambled order.
+	for _, i := range []int{1, 0} {
+		for j := i; j < 180; j += 2 {
+			shuffled.Append(sec(j), float64(j))
+		}
+	}
+	if shuffled.Sorted() {
+		t.Fatal("scrambled appends should flag the series unsorted")
+	}
+	w := Window{Start: sec(60), End: sec(120)}
+	if _, err := shuffled.WindowMean(w); !errors.Is(err, ErrUnsortedSeries) {
+		t.Fatalf("unsorted WindowMean err = %v, want ErrUnsortedSeries", err)
+	}
+	if _, err := shuffled.Slice(w); !errors.Is(err, ErrUnsortedSeries) {
+		t.Fatalf("unsorted Slice err = %v, want ErrUnsortedSeries", err)
+	}
+	shuffled.Sort()
+	want, err := ordered.WindowMean(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shuffled.WindowMean(w)
+	if err != nil {
+		t.Fatalf("sorted series WindowMean: %v", err)
+	}
+	if got != want {
+		t.Errorf("WindowMean after Sort = %v, want %v", got, want)
+	}
+	vals, err := shuffled.Slice(w)
+	if err != nil || len(vals) != 60 || vals[0] != 60 {
+		t.Errorf("Slice after Sort = (%d vals, %v)", len(vals), err)
 	}
 }
 

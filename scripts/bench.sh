@@ -1,0 +1,31 @@
+#!/bin/sh
+# Runs the benchmark suite once with allocation reporting and converts
+# the standard `go test -bench` output into a JSON array, so successive
+# runs (one BENCH_<rev>.json per revision) form a perf trajectory.
+#
+# Usage: scripts/bench.sh [out.json]
+set -eu
+
+out="${1:-BENCH_local.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -bench=. -benchmem -count=1 -run '^$' . | tee "$tmp"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+END { if (n) printf "\n"; print "]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
