@@ -1,21 +1,28 @@
 # Build / verification entry points.
 #
-#   make check   - tier-1 gate: build everything, vet, run all tests
-#   make test    - build + tests only (the original tier-1 command)
-#   make bench   - benchmark smoke run with allocation reporting; also
-#                  writes machine-readable results to BENCH_<rev>.json
-#                  so per-PR benchmark trajectories can accumulate
-#   make vet     - static analysis only
+#   make check     - tier-1 gate: build everything, vet, run all tests
+#                    under the race detector (the server is concurrent;
+#                    plain `go test` would miss data races)
+#   make test      - build + tests only (the original tier-1 command)
+#   make test-race - build + tests under -race
+#   make bench     - benchmark smoke run with allocation reporting; also
+#                    writes machine-readable results to BENCH_<rev>.json
+#                    so per-PR benchmark trajectories can accumulate
+#                    (includes the server throughput pair at -cpu 8)
+#   make vet       - static analysis only
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 
-.PHONY: check test vet bench
+.PHONY: check test test-race vet bench
 
-check: test vet
+check: test-race vet
 
 test:
 	$(GO) build ./... && $(GO) test ./...
+
+test-race:
+	$(GO) build ./... && $(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

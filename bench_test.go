@@ -14,15 +14,23 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/experiments"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/taxonomist"
 	"repro/internal/telemetry"
@@ -371,7 +379,7 @@ func benchFit(b *testing.B, workers int) {
 }
 
 func BenchmarkFitSequential(b *testing.B) { benchFit(b, 1) }
-func BenchmarkFitParallel(b *testing.B)  { benchFit(b, 0) }
+func BenchmarkFitParallel(b *testing.B)   { benchFit(b, 0) }
 
 func BenchmarkMicroStreamFeed(b *testing.B) {
 	ds := benchDataset(b)
@@ -417,4 +425,180 @@ func BenchmarkMicroTaxonomistPredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = forest.Predict(fvs[i%len(fvs)].Values)
 	}
+}
+
+// --- Server throughput: sharded vs. the seed's global mutex -----------
+
+// benchLevelSource yields a flat headline-metric level, so each learned
+// level becomes one fingerprint per node.
+type benchLevelSource struct {
+	nodes int
+	level float64
+}
+
+func (f benchLevelSource) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	if metric != apps.HeadlineMetric || node >= f.nodes {
+		return 0, false
+	}
+	return f.level, true
+}
+
+func (f benchLevelSource) NodeCount() int { return f.nodes }
+
+func benchServerDictionary(b *testing.B) *core.Dictionary {
+	b.Helper()
+	d, err := core.NewDictionary(core.DefaultConfig(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		d.Learn(benchLevelSource{nodes: 2, level: 1000 * float64(i+1)},
+			apps.Label{App: fmt.Sprintf("app%d", i), Input: apps.InputX})
+	}
+	return d
+}
+
+type benchWireSample struct {
+	Metric  string  `json:"metric"`
+	Node    int     `json:"node"`
+	OffsetS float64 `json:"offset_s"`
+	Value   float64 `json:"value"`
+}
+
+// benchServerWorkload registers nJobs jobs against the handler and
+// returns one prebuilt ingest body and poll path per job.
+func benchServerWorkload(b *testing.B, h http.Handler, nJobs int) (bodies [][]byte, polls []string) {
+	b.Helper()
+	for i := 0; i < nJobs; i++ {
+		id := fmt.Sprintf("bench-job-%03d", i)
+		reg, _ := json.Marshal(map[string]any{"job_id": id, "nodes": 2})
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(reg)))
+		if rec.Code != http.StatusCreated {
+			b.Fatalf("register %s: %d %s", id, rec.Code, rec.Body)
+		}
+		level := 1000 * float64(i%8+1)
+		var samples []benchWireSample
+		for k := 0; k < 16; k++ {
+			for node := 0; node < 2; node++ {
+				samples = append(samples, benchWireSample{
+					Metric: apps.HeadlineMetric, Node: node,
+					OffsetS: 60 + float64(4*k), Value: level,
+				})
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"job_id": id, "samples": samples})
+		bodies = append(bodies, body)
+		polls = append(polls, "/v1/jobs/"+id)
+	}
+	return bodies, polls
+}
+
+// runServerThroughput drives a mixed parallel workload — 3 ingest
+// batches to 1 recognition poll, spread across the jobs — through the
+// handler with one client goroutine per GOMAXPROCS.
+func runServerThroughput(b *testing.B, h http.Handler, nJobs int) {
+	bodies, polls := benchServerWorkload(b, h, nJobs)
+	var fail atomic.Bool
+	var gids atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		gid := int(gids.Add(1))
+		i := 0
+		for pb.Next() {
+			jobIdx := (gid*13 + i) % nJobs
+			rec := httptest.NewRecorder()
+			if i%4 == 3 {
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, polls[jobIdx], nil))
+			} else {
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/samples", bytes.NewReader(bodies[jobIdx])))
+			}
+			if rec.Code != http.StatusOK {
+				fail.Store(true)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if fail.Load() {
+		b.Fatal("request failed during benchmark")
+	}
+}
+
+// BenchmarkServerThroughput measures the sharded monitoring server
+// under mixed parallel ingest + recognition across 64 jobs. Compare
+// against BenchmarkServerThroughputSerialized (the seed's single
+// global mutex) at the same -cpu to see the concurrency win.
+func BenchmarkServerThroughput(b *testing.B) {
+	s := server.New(benchServerDictionary(b))
+	b.ReportAllocs()
+	runServerThroughput(b, s.Handler(), 64)
+}
+
+// serializedServer replicates the seed server's locking: one global
+// mutex covering every job-table access, stream feed, recognition, and
+// response encode (JSON decode happened outside the lock, as in the
+// seed). It serves as the baseline for the sharding speedup.
+type serializedServer struct {
+	mu   sync.Mutex
+	dict *core.Dictionary
+	jobs map[string]*core.Stream
+}
+
+func (s *serializedServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			JobID string `json:"job_id"`
+			Nodes int    `json:"nodes"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.jobs[req.JobID] = core.NewStream(s.dict, req.Nodes)
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]string{"job_id": req.JobID})
+	})
+	mux.HandleFunc("/v1/samples", func(w http.ResponseWriter, r *http.Request) {
+		var batch struct {
+			JobID   string            `json:"job_id"`
+			Samples []benchWireSample `json:"samples"`
+		}
+		json.NewDecoder(r.Body).Decode(&batch)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st, ok := s.jobs[batch.JobID]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		for _, smp := range batch.Samples {
+			st.Feed(smp.Metric, smp.Node, time.Duration(smp.OffsetS*float64(time.Second)), smp.Value)
+		}
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(batch.Samples)})
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Path[len("/v1/jobs/"):]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st, ok := s.jobs[id]
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		res := st.Recognize()
+		json.NewEncoder(w).Encode(map[string]any{
+			"job_id": id, "complete": st.Complete(), "top": res.Top(),
+			"votes": res.Votes(), "matched": res.Matched, "total": res.Total,
+		})
+	})
+	return mux
+}
+
+// BenchmarkServerThroughputSerialized is the identical workload
+// against the seed's single-global-mutex design.
+func BenchmarkServerThroughputSerialized(b *testing.B) {
+	s := &serializedServer{dict: benchServerDictionary(b), jobs: make(map[string]*core.Stream)}
+	b.ReportAllocs()
+	runServerThroughput(b, s.handler(), 64)
 }

@@ -1,48 +1,174 @@
 // Command efdd serves a trained Execution Fingerprint Dictionary as an
 // HTTP monitoring service (see internal/server for the API).
 //
-//	efdd -dict dict.json -addr :8080
+//	efdd -dict dict.json -addr :8080 -save dict.json
 //
 // An LDMS aggregator (or any telemetry forwarder) registers running
 // jobs, streams their per-node samples, and queries recognition results
 // two minutes into each job. Completed jobs can be labelled back into
-// the dictionary, which is re-saved on shutdown when -save is given.
+// the dictionary; on SIGINT/SIGTERM the daemon shuts the listener down
+// gracefully and, when -save is given, re-saves the dictionary
+// (atomically, via a temp file + rename) so online-learned labels
+// survive restarts.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/server"
 )
 
 func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "efdd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored out of main so tests can drive it:
+// it serves until the context is cancelled or SIGINT/SIGTERM arrives,
+// then shuts down gracefully and re-saves the dictionary when -save is
+// set. onListen, if non-nil, is called with the bound address once the
+// listener is up.
+func run(ctx context.Context, args []string, out io.Writer, onListen func(addr string)) error {
+	fs := flag.NewFlagSet("efdd", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		dictPath = flag.String("dict", "dict.json", "trained dictionary (from `efd learn`)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		maxJobs  = flag.Int("max-jobs", 4096, "maximum concurrently tracked jobs")
+		dictPath = fs.String("dict", "dict.json", "trained dictionary (from `efd learn`)")
+		addr     = fs.String("addr", ":8080", "listen address")
+		maxJobs  = fs.Int("max-jobs", 4096, "maximum concurrently tracked jobs")
+		savePath = fs.String("save", "", "path to re-save the dictionary on graceful shutdown (labels learned online are lost without it; typically the -dict path)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	f, err := os.Open(*dictPath)
 	if err != nil {
-		log.Fatalf("efdd: %v", err)
+		return err
 	}
 	dict, err := core.Load(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("efdd: load dictionary: %v", err)
+		return fmt.Errorf("load dictionary: %w", err)
 	}
 	st := dict.Stats()
-	fmt.Printf("efdd: dictionary %s — %d keys, %d labels, depth %d\n",
+	fmt.Fprintf(out, "efdd: dictionary %s — %d keys, %d labels, depth %d\n",
 		*dictPath, st.Keys, st.Labels, st.Depth)
 
 	srv := server.New(dict)
 	srv.MaxJobs = *maxJobs
-	fmt.Printf("efdd: listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "efdd: listening on %s\n", ln.Addr())
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Bound slow clients so a trickled header or abandoned
+		// keep-alive cannot pin connection goroutines forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	var exitErr error
+	select {
+	case err := <-serveErr:
+		// Unexpected listener failure: still fall through to the save
+		// below — exiting without it would drop every online-learned
+		// label, the very bug -save exists to fix.
+		exitErr = fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+		fmt.Fprintf(out, "efdd: shutting down\n")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// A shutdown timeout on a straggling connection is not fatal
+		// to the save: SaveDictionary takes the dictionary read lock,
+		// which excludes any in-flight Learn, so the snapshot is
+		// consistent regardless.
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			exitErr = fmt.Errorf("shutdown: %w", err)
+		} else {
+			<-serveErr // Serve has returned http.ErrServerClosed
+		}
+	}
+	if *savePath != "" {
+		if err := saveDictionary(srv, *savePath); err != nil {
+			// Join rather than replace: a failed save must not mask
+			// the serve/shutdown error that took the daemon down.
+			return errors.Join(exitErr, fmt.Errorf("save dictionary: %w", err))
+		}
+		fmt.Fprintf(out, "efdd: dictionary saved to %s\n", *savePath)
+	}
+	return exitErr
+}
+
+// saveDictionary writes the (possibly online-extended) dictionary
+// atomically: to a temp file in the destination directory, then rename.
+// The destination's existing file mode is preserved (CreateTemp's 0600
+// would otherwise tighten a shared dictionary on every restart).
+func saveDictionary(srv *server.Server, path string) error {
+	mode := os.FileMode(0644)
+	if st, err := os.Stat(path); err == nil {
+		mode = st.Mode().Perm()
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".efdd-save-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := srv.SaveDictionary(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Sync before rename: without it a crash shortly after shutdown
+	// could leave a truncated dictionary behind the rename — the very
+	// durability -save promises.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Fsync the directory so the rename itself survives a crash; the
+	// synced temp file alone does not make the new name durable.
+	if dirf, err := os.Open(dir); err == nil {
+		dirf.Sync()
+		dirf.Close()
+	}
+	return nil
 }

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+type flatSource struct {
+	nodes int
+	level float64
+}
+
+func (f flatSource) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	if metric != apps.HeadlineMetric || node >= f.nodes {
+		return 0, false
+	}
+	return f.level, true
+}
+
+func (f flatSource) NodeCount() int { return f.nodes }
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestGracefulShutdownSavesLearnedLabels exercises the daemon's
+// headline bugfix end to end: start efdd with -save, teach it one new
+// label online, deliver SIGTERM, and verify the re-saved dictionary
+// contains the label after a reload.
+func TestGracefulShutdownSavesLearnedLabels(t *testing.T) {
+	dir := t.TempDir()
+	dictPath := filepath.Join(dir, "dict.json")
+	savePath := filepath.Join(dir, "saved.json")
+
+	d, err := core.NewDictionary(core.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Learn(flatSource{nodes: 2, level: 6000}, apps.Label{App: "ft", Input: apps.InputX})
+	f, err := os.Create(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(),
+			[]string{"-dict", dictPath, "-addr", "127.0.0.1:0", "-save", savePath},
+			io.Discard, func(a string) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+
+	if resp := postJSON(t, base+"/v1/jobs", map[string]any{"job_id": "j1", "nodes": 2}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v", resp.Status)
+	}
+	var samples []map[string]any
+	for sec := 0; sec <= 125; sec++ {
+		for node := 0; node < 2; node++ {
+			samples = append(samples, map[string]any{
+				"metric": apps.HeadlineMetric, "node": node,
+				"offset_s": float64(sec), "value": 9000.0,
+			})
+		}
+	}
+	if resp := postJSON(t, base+"/v1/samples", map[string]any{"job_id": "j1", "samples": samples}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("samples: %v", resp.Status)
+	}
+	if resp := postJSON(t, base+"/v1/jobs/j1/label", map[string]string{"app": "lammps", "input": "X"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("label: %v", resp.Status)
+	}
+
+	// The daemon catches SIGTERM via signal.NotifyContext, so signalling
+	// our own process exercises the real shutdown path.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+
+	sf, err := os.Open(savePath)
+	if err != nil {
+		t.Fatalf("saved dictionary missing: %v", err)
+	}
+	defer sf.Close()
+	reloaded, err := core.Load(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.Recognize(flatSource{nodes: 2, level: 9000}).Top(); got != "lammps" {
+		t.Errorf("reloaded dictionary recognizes %q, want lammps", got)
+	}
+	if got := reloaded.Recognize(flatSource{nodes: 2, level: 6000}).Top(); got != "ft" {
+		t.Errorf("reloaded dictionary lost original label: got %q", got)
+	}
+}
+
+// TestRunBadFlagsAndMissingDict covers the error paths of run.
+func TestRunBadFlagsAndMissingDict(t *testing.T) {
+	if err := run(context.Background(), []string{"-dict", filepath.Join(t.TempDir(), "nope.json")}, io.Discard, nil); err == nil {
+		t.Error("missing dictionary: want error")
+	}
+	var discard bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &discard, nil); err == nil {
+		t.Error("bogus flag: want error")
+	}
+}

@@ -8,6 +8,12 @@
 // (interned integer keys, dense vote accumulators, reused scratch — see
 // the internal/core package comment), and training parallelizes its
 // cross-validation grid with byte-identical results at any worker
-// count. Run `make bench` for the benchmark suite with allocation
-// reporting, `make check` for build + vet + tests.
+// count. The HTTP monitoring service (internal/server, cmd/efdd)
+// shards its job table and serves concurrent ingest and recognition
+// against a shared dictionary (core.SharedDictionary: parallel
+// readers, exclusive online learning) with graceful shutdown and
+// dictionary re-save. Run `make bench` for the benchmark suite with
+// allocation reporting (including the sharded-vs-serialized server
+// throughput pair), `make check` for build + vet + tests under the
+// race detector.
 package repro

@@ -29,6 +29,14 @@
 // one-off calls; batch and service callers should hold a Recognizer
 // (one per goroutine).
 //
+// Concurrency: a Dictionary is single-writer. Read-only use
+// (recognition, lookup, stats) is safe from any number of goroutines;
+// to mix online learning with live recognition, wrap the dictionary
+// with Share and route reads through SharedDictionary.Read and
+// mutation through SharedDictionary.Write/Learn — the pattern the
+// efdd monitoring daemon uses to learn completed jobs while serving
+// recognition polls.
+//
 // The heavy lifting lives in the internal packages; this package
 // re-exports the stable surface a downstream user needs: dataset
 // generation (a synthetic stand-in for the Taxonomist telemetry
@@ -69,6 +77,10 @@ type (
 	// Recognizer performs recognitions through reused scratch buffers
 	// — the zero-allocation batch/service path. One per goroutine.
 	Recognizer = core.Recognizer
+	// SharedDictionary is the read/write concurrency contract for
+	// serving one dictionary to many goroutines: concurrent
+	// recognition, exclusive online learning. See Share.
+	SharedDictionary = core.SharedDictionary
 	// Stream recognizes executions online as telemetry arrives.
 	Stream = core.Stream
 	// WindowSource yields window means for fingerprinting.
@@ -145,6 +157,13 @@ func SourceOf(e *Execution) WindowSource { return core.Source(e) }
 // NewStream returns an online recognizer against the dictionary for an
 // execution on the given number of nodes.
 func NewStream(d *Dictionary, nodes int) *Stream { return core.NewStream(d, nodes) }
+
+// Share wraps a dictionary in the read/write concurrency contract:
+// any number of concurrent Read sections (recognition, stats, save)
+// run in parallel, while Write sections (online Learn) are exclusive.
+// Services that label completed executions back into a live dictionary
+// must route all access through the shared wrapper.
+func Share(d *Dictionary) *SharedDictionary { return core.Share(d) }
 
 // Classify recognizes every execution of the dataset and returns
 // (truth, prediction) pairs with application-name truths.

@@ -27,8 +27,13 @@ import (
 // Lookup, Count, Entries, Save/Load), which keeps the recognition hot
 // path free of string formatting and per-call map allocation.
 //
-// A Dictionary is not safe for concurrent mutation; concurrent Lookup
-// and Recognize calls are safe once learning is done.
+// Concurrency contract: a Dictionary is single-writer. Concurrent
+// Lookup/Recognize/Stats/Save calls are safe with each other but not
+// with any mutation (Learn, Add, Merge, Compact). Services that mix
+// online learning with live recognition must wrap the dictionary in a
+// SharedDictionary (see Share), which grants readers shared access and
+// writers exclusive access; the recognition hot path inside a read
+// section stays lock-free per entry.
 type Dictionary struct {
 	cfg Config
 

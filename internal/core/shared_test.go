@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/telemetry"
+)
+
+// levelSource yields a flat level on the headline metric — the same
+// shape the dataset's flat phases produce, so every execution of one
+// level lands on one fingerprint per node.
+type levelSource struct {
+	nodes int
+	level float64
+}
+
+func (f levelSource) WindowMean(metric string, node int, w telemetry.Window) (float64, bool) {
+	if metric != apps.HeadlineMetric || node >= f.nodes {
+		return 0, false
+	}
+	return f.level, true
+}
+
+func (f levelSource) NodeCount() int { return f.nodes }
+
+// TestSharedDictionaryConcurrentReadersAndLearn drives the read/write
+// contract under the race detector: many goroutines recognize through
+// their own Recognizers and Streams while a writer keeps learning new
+// labels. Recognition of the pre-learned levels must stay correct
+// throughout, and every learned label must be visible once the writer
+// is done.
+func TestSharedDictionaryConcurrentReadersAndLearn(t *testing.T) {
+	d, err := NewDictionary(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Learn(levelSource{nodes: 2, level: 6000}, apps.Label{App: "ft", Input: apps.InputX})
+	d.Learn(levelSource{nodes: 2, level: 7000}, apps.Label{App: "mg", Input: apps.InputX})
+	sd := Share(d)
+
+	const (
+		readers   = 8
+		perReader = 200
+		learned   = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var rec *Recognizer
+			sd.Read(func(d *Dictionary) { rec = d.NewRecognizer() })
+			for i := 0; i < perReader; i++ {
+				level, want := 6000.0, "ft"
+				if (g+i)%2 == 1 {
+					level, want = 7000, "mg"
+				}
+				var got string
+				sd.Read(func(d *Dictionary) {
+					got = rec.Recognize(levelSource{nodes: 2, level: level}).Top()
+				})
+				if got != want {
+					errs <- fmt.Errorf("reader %d: recognized %q, want %q", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < learned; i++ {
+			// Multiples of 10000 stay distinct after depth-2 rounding.
+			sd.Learn(levelSource{nodes: 2, level: 10000 * float64(i+1)},
+				apps.Label{App: fmt.Sprintf("new%d", i), Input: apps.InputX})
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every learned label is now recognizable.
+	sd.Read(func(d *Dictionary) {
+		for i := 0; i < learned; i++ {
+			want := fmt.Sprintf("new%d", i)
+			if got := d.Recognize(levelSource{nodes: 2, level: 10000 * float64(i+1)}).Top(); got != want {
+				t.Errorf("learned level %d: recognized %q, want %q", i, got, want)
+			}
+		}
+	})
+}
+
+// TestSharedDictionaryStreamUnderLearn feeds a stream (no dictionary
+// lock needed: Feed only reads the immutable config) while a writer
+// learns, then checks the completed stream recognizes correctly inside
+// a Read section.
+func TestSharedDictionaryStreamUnderLearn(t *testing.T) {
+	d, err := NewDictionary(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Learn(levelSource{nodes: 2, level: 6000}, apps.Label{App: "ft", Input: apps.InputX})
+	sd := Share(d)
+
+	var st *Stream
+	sd.Read(func(d *Dictionary) { st = NewStream(d, 2) })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			sd.Learn(levelSource{nodes: 2, level: 200000 + 10000*float64(i)},
+				apps.Label{App: fmt.Sprintf("bg%d", i), Input: apps.InputY})
+		}
+	}()
+	for sec := 0; sec <= 125; sec++ {
+		for node := 0; node < 2; node++ {
+			st.Feed(apps.HeadlineMetric, node, time.Duration(sec)*time.Second, 6000)
+		}
+	}
+	wg.Wait()
+	sd.Read(func(d *Dictionary) {
+		if !st.Complete() {
+			t.Fatal("stream not complete")
+		}
+		if got := st.Recognize().Top(); got != "ft" {
+			t.Errorf("stream recognized %q, want ft", got)
+		}
+	})
+}

@@ -1,53 +1,160 @@
 // Package server exposes a trained Execution Fingerprint Dictionary as
-// a small HTTP monitoring service — the deployment shape the paper's
-// MODA context implies: an LDMS aggregator forwards per-node samples of
+// an HTTP monitoring service — the deployment shape the paper's MODA
+// context implies: an LDMS aggregator forwards per-node samples of
 // running jobs, operators query recognition results two minutes into
 // each job, and completed jobs can be labelled back into the dictionary
 // ("learning new applications is as simple as adding new keys", §6).
 //
-// Endpoints (all JSON):
+// # Architecture
 //
-//	GET  /healthz                     liveness
-//	GET  /v1/dictionary               dictionary statistics
-//	POST /v1/jobs                     register a job {job_id, nodes}
-//	POST /v1/samples                  feed samples {job_id, samples:[{metric,node,offset_s,value}]}
-//	GET  /v1/jobs/{id}                recognition state of a job
-//	POST /v1/jobs/{id}/label          learn a finished job {app, input}
-//	DELETE /v1/jobs/{id}              forget a job's stream
+// The service is built for concurrent ingest and recognition. Jobs live
+// in a sharded table: NumShards shards selected by FNV-1a hash of the
+// job ID, each shard guarded by its own RWMutex, so registration and
+// lookup of one job never contend with another shard. Every job
+// additionally carries its own mutex serializing its stream — ingest
+// for job A proceeds in parallel with recognition of job B, and two
+// sample batches for the same job are applied in order.
+//
+// The dictionary itself is wrapped in a core.SharedDictionary:
+// recognition polls take shared (read) access and run concurrently
+// across jobs, while an online Learn (POST /v1/jobs/{id}/label) takes
+// exclusive access for the duration of one insertion. Sample ingest
+// touches only the immutable fingerprint configuration and therefore
+// takes no dictionary lock at all — the ingest path never stalls
+// behind recognition or learning.
+//
+// # Endpoints (all JSON)
+//
+//	GET    /healthz              liveness
+//	GET    /v1/dictionary        dictionary statistics
+//	GET    /v1/metrics           service counters + shard occupancy
+//	POST   /v1/jobs              register a job {job_id, nodes}
+//	GET    /v1/jobs              paginated job listing (?offset=&limit=)
+//	POST   /v1/samples           feed samples, single-job or multi-job:
+//	                             {job_id, samples:[{metric,node,offset_s,value}]}
+//	                             {batches:[{job_id, samples:[...]}, ...]}
+//	GET    /v1/jobs/{id}         recognition state of a job
+//	POST   /v1/jobs/{id}/label   learn a finished job {app, input}
+//	DELETE /v1/jobs/{id}         forget a job's stream
+//
+// Job IDs must be non-empty, at most MaxJobIDLen bytes, and must not
+// contain '/' (which would collide with the path routing above); sample
+// offsets and values must be finite. Both are rejected with 400 before
+// any state changes.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 )
 
+// NumShards is the number of independent job-table shards. Job IDs are
+// assigned to shards by FNV-1a hash.
+const NumShards = 64
+
+// MaxJobIDLen bounds the byte length of a registered job ID.
+const MaxJobIDLen = 256
+
 // Server is the HTTP monitoring service. It is safe for concurrent
-// use.
+// use; see the package comment for the locking architecture.
 type Server struct {
-	mu   sync.Mutex
-	dict *core.Dictionary
-	jobs map[string]*job
+	dict *core.SharedDictionary
+
+	shards   [NumShards]shard
+	jobCount atomic.Int64
 
 	// MaxJobs bounds the number of concurrently tracked jobs
-	// (default 4096); registration beyond it is rejected.
+	// (default 4096); registration beyond it is rejected. Set it
+	// before serving requests.
 	MaxJobs int
+
+	met counters
 }
 
+type shard struct {
+	mu   sync.RWMutex
+	jobs map[string]*job
+}
+
+// job is one tracked stream. Its mutex serializes all access to the
+// stream and the ingest bookkeeping; the shard lock only guards the
+// map that holds it.
 type job struct {
-	stream *core.Stream
-	nodes  int
+	mu      sync.Mutex
+	stream  *core.Stream
+	nodes   int
+	samples int64
+	lastOff time.Duration
+	// done marks a job that has been labelled or deleted; a handler
+	// that resolved the pointer before removal treats it as gone.
+	done bool
 }
 
-// New returns a service over the dictionary.
+// counters are the service's monotonically increasing metrics, exposed
+// by GET /v1/metrics.
+type counters struct {
+	registered      atomic.Int64
+	deleted         atomic.Int64
+	learned         atomic.Int64
+	sampleBatches   atomic.Int64
+	samplesAccepted atomic.Int64
+	batchesRejected atomic.Int64
+	recognitions    atomic.Int64
+}
+
+// New returns a service over the dictionary. The server takes
+// ownership of the dictionary's concurrency: all further access must
+// go through the server (or SaveDictionary).
 func New(dict *core.Dictionary) *Server {
-	return &Server{dict: dict, jobs: make(map[string]*job), MaxJobs: 4096}
+	s := &Server{dict: core.Share(dict), MaxJobs: 4096}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*job)
+	}
+	return s
+}
+
+// shardFor selects the shard of a job ID by FNV-1a hash.
+func (s *Server) shardFor(id string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &s.shards[h%NumShards]
+}
+
+// getJob resolves a job ID to its live job, or nil.
+func (s *Server) getJob(id string) *job {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	j := sh.jobs[id]
+	sh.mu.RUnlock()
+	return j
+}
+
+// SaveDictionary writes the dictionary under shared access, so a save
+// never observes a half-applied Learn. The efdd daemon calls this on
+// graceful shutdown.
+func (s *Server) SaveDictionary(w io.Writer) error {
+	var err error
+	s.dict.Read(func(d *core.Dictionary) { err = d.Save(w) })
+	return err
 }
 
 // Handler returns the HTTP handler of the service.
@@ -55,6 +162,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/v1/dictionary", s.handleDictionary)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/samples", s.handleSamples)
@@ -71,6 +179,15 @@ type registerRequest struct {
 type sampleBatch struct {
 	JobID   string       `json:"job_id"`
 	Samples []wireSample `json:"samples"`
+}
+
+// ingestRequest is the body of POST /v1/samples: either the single-job
+// form (job_id + samples) or the multi-job form (batches), which groups
+// samples by job so each shard is locked once per request.
+type ingestRequest struct {
+	JobID   string        `json:"job_id"`
+	Samples []wireSample  `json:"samples"`
+	Batches []sampleBatch `json:"batches"`
 }
 
 type wireSample struct {
@@ -92,6 +209,21 @@ type jobState struct {
 	Total      int            `json:"total"`
 }
 
+type jobSummary struct {
+	JobID       string  `json:"job_id"`
+	Nodes       int     `json:"nodes"`
+	Complete    bool    `json:"complete"`
+	Samples     int64   `json:"samples"`
+	LastOffsetS float64 `json:"last_offset_s"`
+}
+
+type jobListing struct {
+	Total  int          `json:"total"`
+	Offset int          `json:"offset"`
+	Limit  int          `json:"limit"`
+	Jobs   []jobSummary `json:"jobs"`
+}
+
 type labelRequest struct {
 	App   string `json:"app"`
 	Input string `json:"input"`
@@ -107,6 +239,20 @@ type dictState struct {
 	LiveJobs   int      `json:"live_jobs"`
 }
 
+type metricsState struct {
+	LiveJobs        int64 `json:"live_jobs"`
+	MaxJobs         int   `json:"max_jobs"`
+	Shards          int   `json:"shards"`
+	ShardOccupancy  []int `json:"shard_occupancy"`
+	Registered      int64 `json:"registered_total"`
+	Deleted         int64 `json:"deleted_total"`
+	Learned         int64 `json:"learned_total"`
+	SampleBatches   int64 `json:"sample_batches_total"`
+	SamplesAccepted int64 `json:"samples_accepted_total"`
+	BatchesRejected int64 `json:"batches_rejected_total"`
+	Recognitions    int64 `json:"recognitions_total"`
+}
+
 // --- handlers ---------------------------------------------------------
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -118,43 +264,196 @@ func (s *Server) handleDictionary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	st := s.dict.Stats()
-	out := dictState{
-		Keys: st.Keys, Exclusive: st.Exclusive, Collisions: st.Collisions,
-		Labels: st.Labels, Depth: st.Depth, Apps: s.dict.Apps(),
-		LiveJobs: len(s.jobs),
-	}
-	s.mu.Unlock()
+	var out dictState
+	s.dict.Read(func(d *core.Dictionary) {
+		st := d.Stats()
+		out = dictState{
+			Keys: st.Keys, Exclusive: st.Exclusive, Collisions: st.Collisions,
+			Labels: st.Labels, Depth: st.Depth, Apps: d.Apps(),
+		}
+	})
+	out.LiveJobs = int(s.jobCount.Load())
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	out := metricsState{
+		LiveJobs:        s.jobCount.Load(),
+		MaxJobs:         s.MaxJobs,
+		Shards:          NumShards,
+		ShardOccupancy:  make([]int, NumShards),
+		Registered:      s.met.registered.Load(),
+		Deleted:         s.met.deleted.Load(),
+		Learned:         s.met.learned.Load(),
+		SampleBatches:   s.met.sampleBatches.Load(),
+		SamplesAccepted: s.met.samplesAccepted.Load(),
+		BatchesRejected: s.met.batchesRejected.Load(),
+		Recognitions:    s.met.recognitions.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out.ShardOccupancy[i] = len(sh.jobs)
+		sh.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// validateJobID enforces the registration-time job ID rules. IDs
+// containing '/' would shadow or intercept the /v1/jobs/{id}[/label]
+// routes, and "."/".." are unreachable after ServeMux path cleaning,
+// so all are rejected up front.
+func validateJobID(id string) string {
+	switch {
+	case id == "":
+		return "job_id required"
+	case len(id) > MaxJobIDLen:
+		return fmt.Sprintf("job_id longer than %d bytes", MaxJobIDLen)
+	case strings.Contains(id, "/"):
+		return "job_id must not contain '/'"
+	case id == "." || id == "..":
+		return "job_id must not be '.' or '..'"
+	}
+	return ""
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.handleJobList(w, r)
+	case http.MethodPost:
+		s.handleRegister(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	if req.JobID == "" || req.Nodes <= 0 {
+	if req.Nodes <= 0 {
 		httpError(w, http.StatusBadRequest, "job_id and positive nodes required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.jobs[req.JobID]; exists {
+	if msg := validateJobID(req.JobID); msg != "" {
+		httpError(w, http.StatusBadRequest, "%s", msg)
+		return
+	}
+	sh := s.shardFor(req.JobID)
+	// Cheap precheck so doomed registrations (duplicates, full table)
+	// answer from the shard map alone, without building a stream or
+	// waiting on the dictionary lock behind a Learn. Both conditions
+	// are re-checked authoritatively under the write lock below.
+	sh.mu.RLock()
+	_, exists := sh.jobs[req.JobID]
+	sh.mu.RUnlock()
+	if exists {
 		httpError(w, http.StatusConflict, "job %q already registered", req.JobID)
 		return
 	}
-	if len(s.jobs) >= s.MaxJobs {
+	if s.jobCount.Load() >= int64(s.MaxJobs) {
 		httpError(w, http.StatusTooManyRequests, "job table full (%d)", s.MaxJobs)
 		return
 	}
-	s.jobs[req.JobID] = &job{stream: core.NewStream(s.dict, req.Nodes), nodes: req.Nodes}
+	var stream *core.Stream
+	s.dict.Read(func(d *core.Dictionary) { stream = core.NewStream(d, req.Nodes) })
+	sh.mu.Lock()
+	if _, exists := sh.jobs[req.JobID]; exists {
+		sh.mu.Unlock()
+		httpError(w, http.StatusConflict, "job %q already registered", req.JobID)
+		return
+	}
+	if s.jobCount.Add(1) > int64(s.MaxJobs) {
+		s.jobCount.Add(-1)
+		sh.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests, "job table full (%d)", s.MaxJobs)
+		return
+	}
+	sh.jobs[req.JobID] = &job{stream: stream, nodes: req.Nodes}
+	sh.mu.Unlock()
+	s.met.registered.Add(1)
 	writeJSON(w, http.StatusCreated, map[string]string{"job_id": req.JobID})
+}
+
+// handleJobList serves GET /v1/jobs: a deterministic (ID-sorted),
+// paginated listing of live jobs with lightweight per-job state.
+// Recognition state is deliberately per-job (GET /v1/jobs/{id}), so a
+// wide listing never runs recognition for every job.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil || offset < 0 {
+		httpError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), 100)
+	if err != nil || limit <= 0 || limit > 1000 {
+		httpError(w, http.StatusBadRequest, "bad limit %q (1..1000)", q.Get("limit"))
+		return
+	}
+	type idJob struct {
+		id string
+		j  *job
+	}
+	var all []idJob
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, j := range sh.jobs {
+			all = append(all, idJob{id, j})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, k int) bool { return all[i].id < all[k].id })
+	out := jobListing{Total: len(all), Offset: offset, Limit: limit, Jobs: []jobSummary{}}
+	if offset < len(all) {
+		page := all[offset:]
+		if len(page) > limit {
+			page = page[:limit]
+		}
+		for _, ij := range page {
+			ij.j.mu.Lock()
+			out.Jobs = append(out.Jobs, jobSummary{
+				JobID:       ij.id,
+				Nodes:       ij.j.nodes,
+				Complete:    ij.j.stream.Complete(),
+				Samples:     ij.j.samples,
+				LastOffsetS: ij.j.lastOff.Seconds(),
+			})
+			ij.j.mu.Unlock()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// maxOffsetS is the largest offset (in seconds) representable as a
+// time.Duration; larger offsets would overflow the conversion.
+var maxOffsetS = float64(math.MaxInt64) / float64(time.Second)
+
+// validateSamples rejects non-finite offsets/values and offsets whose
+// Duration conversion would overflow, before anything is fed — a NaN
+// value would otherwise permanently poison the job's Welford
+// accumulators.
+func validateSamples(jobID string, samples []wireSample) string {
+	for i, smp := range samples {
+		// >=/<=: maxOffsetS is float64(MaxInt64)/1e9 and float64
+		// rounds MaxInt64 up to 2^63, so equality already overflows
+		// the Duration conversion.
+		if math.IsNaN(smp.OffsetS) || math.IsInf(smp.OffsetS, 0) || smp.OffsetS <= -maxOffsetS || smp.OffsetS >= maxOffsetS {
+			return fmt.Sprintf("job %q sample %d: non-finite or out-of-range offset_s", jobID, i)
+		}
+		if math.IsNaN(smp.Value) || math.IsInf(smp.Value, 0) {
+			return fmt.Sprintf("job %q sample %d: non-finite value", jobID, i)
+		}
+	}
+	return ""
 }
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
@@ -162,34 +461,151 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var batch sampleBatch
-	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[batch.JobID]
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", batch.JobID)
+	single := len(req.Batches) == 0
+	batches := req.Batches
+	if req.JobID != "" || len(req.Samples) > 0 {
+		batches = append(batches, sampleBatch{JobID: req.JobID, Samples: req.Samples})
+	}
+	if len(batches) == 0 {
+		httpError(w, http.StatusBadRequest, "empty ingest request")
 		return
 	}
-	for _, smp := range batch.Samples {
-		offset := time.Duration(smp.OffsetS * float64(time.Second))
-		j.stream.Feed(smp.Metric, smp.Node, offset, smp.Value)
+	// Count attempts first so rejected batches stay a subset of
+	// attempted ones in /v1/metrics (rejection rate can never read
+	// above 100%); both wire forms report identically.
+	s.met.sampleBatches.Add(int64(len(batches)))
+	// Validate everything before feeding anything, so a bad batch
+	// leaves no partial state. Batch IDs that could never have been
+	// registered are malformed requests (400), not unknown jobs (404).
+	invalid := 0
+	firstMsg := ""
+	for _, b := range batches {
+		msg := validateJobID(b.JobID)
+		if msg == "" {
+			msg = validateSamples(b.JobID, b.Samples)
+		}
+		if msg != "" {
+			invalid++
+			if firstMsg == "" {
+				firstMsg = msg
+			}
+		}
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(batch.Samples)})
+	if invalid > 0 {
+		s.met.batchesRejected.Add(int64(invalid))
+		httpError(w, http.StatusBadRequest, "%s", firstMsg)
+		return
+	}
+
+	// Resolve jobs, then feed each under its own mutex. The single-job
+	// form (the per-node LDMS forwarder path) resolves directly; the
+	// multi-job form groups batches by shard so each shard is
+	// read-locked once per request.
+	var unknown []string
+	accepted := 0
+	if single {
+		j := s.getJob(batches[0].JobID)
+		if j == nil {
+			httpError(w, http.StatusNotFound, "unknown job %q", batches[0].JobID)
+			return
+		}
+		if n, ok := s.feedJob(j, batches[0].Samples); ok {
+			accepted += n
+		} else {
+			httpError(w, http.StatusNotFound, "unknown job %q", batches[0].JobID)
+			return
+		}
+	} else {
+		type resolved struct {
+			b sampleBatch
+			j *job
+		}
+		byShard := make(map[*shard][]int, 1)
+		for i, b := range batches {
+			sh := s.shardFor(b.JobID)
+			byShard[sh] = append(byShard[sh], i)
+		}
+		work := make([]resolved, 0, len(batches))
+		for sh, idxs := range byShard {
+			sh.mu.RLock()
+			for _, i := range idxs {
+				if j := sh.jobs[batches[i].JobID]; j != nil {
+					work = append(work, resolved{b: batches[i], j: j})
+				} else {
+					unknown = append(unknown, batches[i].JobID)
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		for _, rw := range work {
+			if n, ok := s.feedJob(rw.j, rw.b.Samples); ok {
+				accepted += n
+			} else {
+				unknown = append(unknown, rw.b.JobID)
+			}
+		}
+	}
+	s.met.samplesAccepted.Add(int64(accepted))
+	if len(unknown) > 0 {
+		// Sorted in both the 404 and partial-success forms: shard-map
+		// iteration order is nondeterministic.
+		sort.Strings(unknown)
+		if accepted == 0 {
+			httpError(w, http.StatusNotFound, "unknown jobs: %s", strings.Join(unknown, ", "))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "unknown": unknown})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
 }
 
-// handleJob dispatches /v1/jobs/{id} and /v1/jobs/{id}/label.
+// feedJob applies one batch of pre-validated samples to a job under
+// its mutex. It reports the number of samples fed and false when the
+// job has already been labelled or deleted. No dictionary lock is
+// taken: Feed only reads the immutable fingerprint configuration, so
+// ingest never stalls behind recognition or learning.
+func (s *Server) feedJob(j *job, samples []wireSample) (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done {
+		return 0, false
+	}
+	for _, smp := range samples {
+		offset := time.Duration(smp.OffsetS * float64(time.Second))
+		j.stream.Feed(smp.Metric, smp.Node, offset, smp.Value)
+		if offset > j.lastOff {
+			j.lastOff = offset
+		}
+	}
+	j.samples += int64(len(samples))
+	return len(samples), true
+}
+
+// handleJob dispatches /v1/jobs/{id} and /v1/jobs/{id}/label. IDs
+// containing '/' are rejected at registration, so any remaining slash
+// in the path (other than the /label suffix) is an unknown route.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	if rest == "" {
 		httpError(w, http.StatusNotFound, "missing job id")
 		return
 	}
-	if strings.HasSuffix(rest, "/label") {
-		s.handleLabel(w, r, strings.TrimSuffix(rest, "/label"))
+	if id, ok := strings.CutSuffix(rest, "/label"); ok {
+		if id == "" || strings.Contains(id, "/") {
+			httpError(w, http.StatusNotFound, "no such route")
+			return
+		}
+		s.handleLabel(w, r, id)
+		return
+	}
+	if strings.Contains(rest, "/") {
+		httpError(w, http.StatusNotFound, "no such route")
 		return
 	}
 	switch r.Method {
@@ -203,28 +619,42 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
+	j := s.getJob(id)
+	if j == nil {
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	var out jobState
 	// The stream's recognizer scratch is reused across polls (we hold
-	// s.mu, so no concurrent call can invalidate the result); only the
-	// JSON wire form below allocates.
-	res := j.stream.Recognize()
-	writeJSON(w, http.StatusOK, jobState{
-		JobID:      id,
-		Complete:   j.stream.Complete(),
-		Recognized: res.Recognized(),
-		Top:        res.Top(),
-		Apps:       res.Apps,
-		Votes:      res.Votes(),
-		Confidence: res.Confidence(),
-		Matched:    res.Matched,
-		Total:      res.Total,
+	// the job mutex, so no concurrent poll can invalidate the Result);
+	// the dictionary read section excludes a concurrent Learn while
+	// the Result is consumed.
+	s.dict.Read(func(*core.Dictionary) {
+		res := j.stream.Recognize()
+		out = jobState{
+			JobID:      id,
+			Complete:   j.stream.Complete(),
+			Recognized: res.Recognized(),
+			Top:        res.Top(),
+			// res.Apps aliases the recognizer's reused scratch; it must
+			// be copied before the locks drop or a concurrent poll of
+			// the same job would rewrite it mid-encode.
+			Apps:       append([]string(nil), res.Apps...),
+			Votes:      res.Votes(),
+			Confidence: res.Confidence(),
+			Matched:    res.Matched,
+			Total:      res.Total,
+		}
 	})
+	j.mu.Unlock()
+	s.met.recognitions.Add(1)
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string) {
@@ -242,35 +672,74 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string) 
 		httpError(w, http.StatusBadRequest, "bad label: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
+	j := s.getJob(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	if !j.stream.Complete() {
+		j.mu.Unlock()
 		httpError(w, http.StatusConflict, "job %q has not covered the fingerprint window yet", id)
 		return
 	}
-	// Online learning: insert the completed stream's fingerprints.
+	// Online learning: insert the completed stream's fingerprints
+	// under exclusive dictionary access.
 	s.dict.Learn(j.stream, label)
-	delete(s.jobs, id)
+	j.done = true
+	j.mu.Unlock()
+	s.removeJob(id, j)
+	s.met.learned.Add(1)
 	writeJSON(w, http.StatusOK, map[string]string{"learned": label.String()})
 }
 
+// removeJob unlinks a specific job pointer from its shard, tolerating
+// the ID having been re-registered in the meantime.
+func (s *Server) removeJob(id string, j *job) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if sh.jobs[id] == j {
+		delete(sh.jobs, id)
+		s.jobCount.Add(-1)
+	}
+	sh.mu.Unlock()
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, id string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.jobs[id]; !ok {
+	// Same order as handleLabel (job mutex, then shard lock via
+	// removeJob): done is set before the unlink, so a feeder that
+	// resolved the pointer earlier can never feed an unlinked stream.
+	j := s.getJob(id)
+	if j == nil {
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	delete(s.jobs, id)
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	j.done = true
+	j.mu.Unlock()
+	s.removeJob(id, j)
+	s.met.deleted.Add(1)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
 // --- helpers ----------------------------------------------------------
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/apps"
@@ -162,9 +164,12 @@ func TestOnlineLearning(t *testing.T) {
 		t.Fatalf("label: %v %v", resp.Status, body)
 	}
 	// The dictionary now recognizes the new application.
-	res := s.dict.Recognize(fixedSource{nodes: 2, level: 9000})
-	if res.Top() != "lammps" {
-		t.Fatalf("online-learned app not recognized: %+v", res)
+	var top string
+	s.dict.Read(func(d *core.Dictionary) {
+		top = d.Recognize(fixedSource{nodes: 2, level: 9000}).Top()
+	})
+	if top != "lammps" {
+		t.Fatalf("online-learned app not recognized: got %q", top)
 	}
 	// The job was consumed.
 	resp, _ = get(t, ts.URL+"/v1/jobs/new")
@@ -174,7 +179,11 @@ func TestOnlineLearning(t *testing.T) {
 }
 
 func TestRegistrationErrors(t *testing.T) {
-	s, ts := newTestServer(t)
+	// MaxJobs must be set before serving, so use a dedicated server.
+	s := New(trainedDict(t))
+	s.MaxJobs = 2
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
 	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "", Nodes: 2}); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty id: %v", resp.Status)
 	}
@@ -185,10 +194,231 @@ func TestRegistrationErrors(t *testing.T) {
 	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "dup", Nodes: 1}); resp.StatusCode != http.StatusConflict {
 		t.Errorf("duplicate: %v", resp.Status)
 	}
-	s.MaxJobs = 2 // "dup" and one more
 	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "fill", Nodes: 1})
 	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "over", Nodes: 1}); resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("over capacity: %v", resp.Status)
+	}
+	// Deleting a job frees its slot.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/fill", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %v", resp.Status)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "again", Nodes: 1}); resp.StatusCode != http.StatusCreated {
+		t.Errorf("register after delete: %v", resp.Status)
+	}
+}
+
+func TestJobIDValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := []string{"a/b", "x/label", "/", strings.Repeat("x", MaxJobIDLen+1), ".", ".."}
+	for _, id := range bad {
+		if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: id, Nodes: 1}); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("id %q: %v, want 400", id, resp.Status)
+		}
+	}
+	good := []string{"ok.job-1", "label", strings.Repeat("y", MaxJobIDLen)}
+	for _, id := range good {
+		if resp, _ := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: id, Nodes: 1}); resp.StatusCode != http.StatusCreated {
+			t.Errorf("id %q: %v, want 201", id, resp.Status)
+		}
+	}
+}
+
+func TestRouteEdgeCases(t *testing.T) {
+	_, ts := newTestServer(t)
+	// A job literally named "label" is reachable: only the "/label"
+	// suffix is special.
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "label", Nodes: 1})
+	if resp, _ := get(t, ts.URL+"/v1/jobs/label"); resp.StatusCode != http.StatusOK {
+		t.Errorf("job named label: %v", resp.Status)
+	}
+	// Slash-bearing paths are unknown routes, not job lookups. (A
+	// path like /v1/jobs//label is first cleaned by ServeMux into
+	// /v1/jobs/label — a plain job lookup — so it is not in this
+	// list.)
+	for _, p := range []string{"/v1/jobs/a/b", "/v1/jobs/a/b/label", "/v1/jobs/a/label/x"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+p, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// ServeMux may clean some of these paths with a 301 before our
+		// handler runs; anything but a 2xx is acceptable.
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("GET %s: %v, want non-2xx", p, resp.Status)
+		}
+	}
+	// POST to /v1/jobs/{id}/label with a slash-bearing id is a 404.
+	if resp, _ := post(t, ts.URL+"/v1/jobs/a/b/label", labelRequest{App: "x", Input: "X"}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("label with slash id: %v, want 404", resp.Status)
+	}
+}
+
+func TestNonFiniteSamplesRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "j", Nodes: 2})
+	// Raw bodies: JSON itself cannot carry NaN/Inf literals (those die
+	// in decode with a 400), so the validator's job is the values that
+	// DO parse — like offsets too large for a time.Duration, or
+	// non-finite values smuggled in through a future wire format. Both
+	// layers must answer 400 without feeding anything.
+	valid := fmt.Sprintf(`{"metric":%q,"node":0,"offset_s":60,"value":6000}`, apps.HeadlineMetric)
+	cases := []string{
+		// Caught by validateSamples after a clean decode.
+		fmt.Sprintf(`{"metric":%q,"node":0,"offset_s":1e300,"value":1}`, apps.HeadlineMetric),
+		fmt.Sprintf(`{"metric":%q,"node":0,"offset_s":-1e300,"value":1}`, apps.HeadlineMetric),
+		// Rejected at the JSON layer: NaN/Infinity are not JSON.
+		fmt.Sprintf(`{"metric":%q,"node":0,"offset_s":NaN,"value":1}`, apps.HeadlineMetric),
+		fmt.Sprintf(`{"metric":%q,"node":0,"offset_s":60,"value":Infinity}`, apps.HeadlineMetric),
+	}
+	for i, smp := range cases {
+		body := fmt.Sprintf(`{"job_id":"j","samples":[%s,%s]}`, valid, smp)
+		resp, err := http.Post(ts.URL+"/v1/samples", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: %v, want 400", i, resp.Status)
+		}
+	}
+	// The validator itself rejects non-finite floats directly.
+	for i, smp := range []wireSample{
+		{Metric: apps.HeadlineMetric, OffsetS: math.NaN(), Value: 1},
+		{Metric: apps.HeadlineMetric, OffsetS: math.Inf(1), Value: 1},
+		{Metric: apps.HeadlineMetric, OffsetS: 60, Value: math.NaN()},
+		{Metric: apps.HeadlineMetric, OffsetS: 60, Value: math.Inf(-1)},
+	} {
+		if msg := validateSamples("j", []wireSample{smp}); msg == "" {
+			t.Errorf("validator case %d: accepted non-finite sample", i)
+		}
+	}
+	// Nothing was fed: the whole batch is rejected before feeding.
+	_, body := get(t, ts.URL+"/v1/jobs?limit=10")
+	jobs := body["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Fatalf("jobs listed = %d", len(jobs))
+	}
+	if n := jobs[0].(map[string]any)["samples"].(float64); n != 0 {
+		t.Errorf("samples fed despite rejection: %v", n)
+	}
+}
+
+func TestJobListingPagination(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		post(t, ts.URL+"/v1/jobs", registerRequest{JobID: fmt.Sprintf("job%d", i), Nodes: 2})
+	}
+	feed(t, ts.URL, "job3", 6000, 125)
+	resp, body := get(t, ts.URL+"/v1/jobs?limit=2&offset=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %v", resp.Status)
+	}
+	if body["total"].(float64) != 5 {
+		t.Errorf("total = %v", body["total"])
+	}
+	jobs := body["jobs"].([]any)
+	if len(jobs) != 2 {
+		t.Fatalf("page size = %d", len(jobs))
+	}
+	j2 := jobs[0].(map[string]any)
+	j3 := jobs[1].(map[string]any)
+	if j2["job_id"] != "job2" || j3["job_id"] != "job3" {
+		t.Errorf("page = %v, %v (IDs are sorted)", j2["job_id"], j3["job_id"])
+	}
+	if !j3["complete"].(bool) || j3["samples"].(float64) == 0 {
+		t.Errorf("fed job state: %v", j3)
+	}
+	if j2["complete"].(bool) {
+		t.Errorf("unfed job complete: %v", j2)
+	}
+	// Off-the-end offset yields an empty page, not an error.
+	if _, body := get(t, ts.URL+"/v1/jobs?offset=99"); len(body["jobs"].([]any)) != 0 {
+		t.Errorf("off-end page: %v", body["jobs"])
+	}
+	// Bad parameters are 400s.
+	for _, q := range []string{"?limit=0", "?limit=1001", "?limit=x", "?offset=-1", "?offset=x"} {
+		if resp, _ := get(t, ts.URL+"/v1/jobs"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %v, want 400", q, resp.Status)
+		}
+	}
+}
+
+func TestBatchIngest(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "a", Nodes: 2})
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "b", Nodes: 2})
+	mk := func(level float64) []wireSample {
+		var out []wireSample
+		for sec := 0; sec <= 125; sec += 5 {
+			for node := 0; node < 2; node++ {
+				out = append(out, wireSample{Metric: apps.HeadlineMetric, Node: node, OffsetS: float64(sec), Value: level})
+			}
+		}
+		return out
+	}
+	resp, body := post(t, ts.URL+"/v1/samples", map[string]any{"batches": []sampleBatch{
+		{JobID: "a", Samples: mk(6000)},
+		{JobID: "b", Samples: mk(7000)},
+		{JobID: "ghost", Samples: mk(1)},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch ingest: %v %v", resp.Status, body)
+	}
+	if body["accepted"].(float64) != float64(2*len(mk(0))) {
+		t.Errorf("accepted = %v", body["accepted"])
+	}
+	unknown := body["unknown"].([]any)
+	if len(unknown) != 1 || unknown[0] != "ghost" {
+		t.Errorf("unknown = %v", unknown)
+	}
+	if _, body := get(t, ts.URL+"/v1/jobs/a"); body["top"] != "ft" {
+		t.Errorf("job a: %v", body["top"])
+	}
+	if _, body := get(t, ts.URL+"/v1/jobs/b"); body["top"] != "mg" {
+		t.Errorf("job b: %v", body["top"])
+	}
+	// All-unknown multi-batch is a 404; an empty request is a 400.
+	if resp, _ := post(t, ts.URL+"/v1/samples", map[string]any{"batches": []sampleBatch{{JobID: "ghost", Samples: mk(1)}}}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("all-unknown batch: %v", resp.Status)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/samples", map[string]any{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty ingest: %v", resp.Status)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "m1", Nodes: 2})
+	post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "m2", Nodes: 2})
+	feed(t, ts.URL, "m1", 6000, 125)
+	get(t, ts.URL+"/v1/jobs/m1")
+	resp, body := get(t, ts.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v", resp.Status)
+	}
+	if body["live_jobs"].(float64) != 2 || body["registered_total"].(float64) != 2 {
+		t.Errorf("job counters: %v", body)
+	}
+	if body["shards"].(float64) != NumShards {
+		t.Errorf("shards = %v", body["shards"])
+	}
+	occ := body["shard_occupancy"].([]any)
+	total := 0.0
+	for _, o := range occ {
+		total += o.(float64)
+	}
+	if len(occ) != NumShards || total != 2 {
+		t.Errorf("occupancy = %v (len %d)", total, len(occ))
+	}
+	if body["samples_accepted_total"].(float64) == 0 || body["recognitions_total"].(float64) != 1 {
+		t.Errorf("traffic counters: %v", body)
 	}
 }
 

@@ -12,6 +12,15 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -bench=. -benchmem -count=1 -run '^$' . | tee "$tmp"
 
+# The server throughput pair again at GOMAXPROCS=8, so the sharded vs.
+# single-mutex scaling comparison lands in the trajectory regardless of
+# the host's default GOMAXPROCS (benchmark names carry a -8 suffix).
+# Skipped when the default is already 8 — the first pass produced the
+# same names and a rerun would duplicate entries in the JSON.
+if [ "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -ne 8 ]; then
+    go test -bench='^BenchmarkServerThroughput' -benchmem -count=1 -cpu 8 -run '^$' . | tee -a "$tmp"
+fi
+
 awk '
 BEGIN { print "[" }
 /^Benchmark/ {
