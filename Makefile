@@ -7,14 +7,17 @@
 #   make test-race - build + tests under -race
 #   make bench     - benchmark smoke run with allocation reporting; also
 #                    writes machine-readable results to BENCH_<rev>.json
+#                    plus the raw text to BENCH_<rev>.txt
 #                    so per-PR benchmark trajectories can accumulate
 #                    (includes the server throughput pair at -cpu 8)
+#   make bench-compare - benchstat (or a plain-awk fallback) over the
+#                    two most recent BENCH_<rev>.txt files
 #   make vet       - static analysis only
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 
-.PHONY: check test test-race vet bench
+.PHONY: check test test-race vet bench bench-compare
 
 check: test-race vet
 
@@ -29,3 +32,6 @@ vet:
 
 bench:
 	./scripts/bench.sh "BENCH_$(REV).json"
+
+bench-compare:
+	./scripts/bench_compare.sh

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ldms"
 	"repro/internal/noise"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,11 +36,12 @@ func main() {
 		raw     = flag.String("raw", "", "write one execution's raw telemetry CSV to this path instead")
 		rawApp  = flag.String("raw-app", "ft", "application for -raw")
 		rawIn   = flag.String("raw-input", "X", "input size for -raw")
+		check   = flag.Bool("check", false, "with -raw: read the written CSV back and verify the round-trip sample for sample")
 	)
 	flag.Parse()
 
 	if *raw != "" {
-		if err := writeRaw(*raw, *rawApp, apps.Input(*rawIn), *nodes, *seed); err != nil {
+		if err := writeRaw(*raw, *rawApp, apps.Input(*rawIn), *nodes, *seed, *check); err != nil {
 			fatal(err)
 		}
 		return
@@ -77,8 +79,10 @@ func main() {
 }
 
 // writeRaw runs a single execution on the simulated cluster and dumps
-// its full 1 Hz telemetry in the per-node CSV layout.
-func writeRaw(path, app string, in apps.Input, nodes int, seed int64) error {
+// its full 1 Hz telemetry in the per-node CSV layout. With check set,
+// it reads the file back through the parallel execution-CSV ingest and
+// verifies the round-trip sample for sample.
+func writeRaw(path, app string, in apps.Input, nodes int, seed int64, check bool) error {
 	spec, ok := apps.Lookup(app)
 	if !ok {
 		return fmt.Errorf("unknown application %q", app)
@@ -101,6 +105,45 @@ func writeRaw(path, app string, in apps.Input, nodes int, seed int64) error {
 	}
 	fmt.Printf("wrote raw telemetry of %s_%s (%v, %d nodes, %d series) to %s\n",
 		app, in, exec.Duration().Round(1e9), nodes, ns.NumSeries(), path)
+	if check {
+		if err := verifyRoundTrip(path, ns); err != nil {
+			return err
+		}
+		fmt.Println("round-trip verified: every sample identical after write -> read")
+	}
+	return nil
+}
+
+// verifyRoundTrip re-reads the written execution CSV and compares every
+// sample of every series against the in-memory telemetry.
+func verifyRoundTrip(path string, want *telemetry.NodeSet) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	got, err := ldms.ReadExecutionCSV(f, 0)
+	if err != nil {
+		return fmt.Errorf("round-trip read: %w", err)
+	}
+	for _, node := range want.Nodes() {
+		for _, m := range want.Metrics() {
+			a, b := want.Get(node, m), got.Get(node, m)
+			if b == nil {
+				return fmt.Errorf("round-trip lost node %d metric %s", node, m)
+			}
+			if a.Len() != b.Len() {
+				return fmt.Errorf("round-trip node %d metric %s: %d samples became %d",
+					node, m, a.Len(), b.Len())
+			}
+			for i := 0; i < a.Len(); i++ {
+				if a.At(i) != b.At(i) {
+					return fmt.Errorf("round-trip node %d metric %s sample %d: %+v became %+v",
+						node, m, i, a.At(i), b.At(i))
+				}
+			}
+		}
+	}
 	return nil
 }
 

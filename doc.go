@@ -12,8 +12,23 @@
 // shards its job table and serves concurrent ingest and recognition
 // against a shared dictionary (core.SharedDictionary: parallel
 // readers, exclusive online learning) with graceful shutdown and
-// dictionary re-save. Run `make bench` for the benchmark suite with
-// allocation reporting (including the sharded-vs-serialized server
-// throughput pair), `make check` for build + vet + tests under the
-// race detector.
+// dictionary re-save.
+//
+// The telemetry substrate underneath all of it is columnar
+// (internal/telemetry): series store separate offset and value
+// columns, regular 1 Hz series keep their offsets implicit in the
+// index, and Seal builds double-double prefix power sums
+// (Σx, Σx², Σx³, Σx⁴) that answer any window's mean or moments in
+// O(1)/O(log n) regardless of window length — Summarize, metric
+// sweeps and aligned recognition amortize to one pass per series.
+// LDMS CSV ingest is byte-oriented (bufio line walking, in-place field
+// splits, zero-copy float parsing, bulk columnar series construction),
+// with multi-node files parsed concurrently on the internal/par pools,
+// and the server's batch ingest feeds streams in columnar
+// (metric, node) runs. Run `make bench` for the benchmark suite with
+// allocation reporting (including the end-to-end ingest → summarize →
+// fit pipeline and the ingest-reader comparison against the retained
+// encoding/csv baseline), `make bench-compare` to benchstat two
+// revisions, and `make check` for build + vet + tests under the race
+// detector.
 package repro

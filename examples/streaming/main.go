@@ -53,7 +53,7 @@ func main() {
 				s := ns.Get(node, metric)
 				i := int(tick / time.Second)
 				if i < s.Len() {
-					stream.Feed(metric, node, s.Samples[i].Offset, s.Samples[i].Value)
+					stream.Feed(metric, node, s.OffsetAt(i), s.ValueAt(i))
 				}
 			}
 		}

@@ -66,7 +66,7 @@ func TestRunProducesCompleteTelemetry(t *testing.T) {
 		t.Errorf("series length %d, want %d", s.Len(), wantSamples)
 	}
 	// 1 Hz grid.
-	if s.Samples[1].Offset-s.Samples[0].Offset != time.Second {
+	if s.OffsetAt(1)-s.OffsetAt(0) != time.Second {
 		t.Error("sampling period is not 1s")
 	}
 }
@@ -111,7 +111,7 @@ func TestInitTransientVisible(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := ns.Get(0, apps.HeadlineMetric)
-	first := s.Samples[0].Value
+	first := s.ValueAt(0)
 	steady, err := s.WindowMean(telemetry.PaperWindow)
 	if err != nil {
 		t.Fatal(err)
@@ -134,9 +134,9 @@ func TestValuesNonNegative(t *testing.T) {
 	}
 	for _, m := range ns.Metrics() {
 		for _, node := range ns.Nodes() {
-			for _, sm := range ns.Get(node, m).Samples {
-				if sm.Value < 0 {
-					t.Fatalf("negative telemetry %v for %s", sm.Value, m)
+			for _, v := range ns.Get(node, m).ValuesView() {
+				if v < 0 {
+					t.Fatalf("negative telemetry %v for %s", v, m)
 				}
 			}
 		}
@@ -158,9 +158,9 @@ func TestCollectDeterministic(t *testing.T) {
 	if sa.Len() != sb.Len() {
 		t.Fatal("lengths differ across identical seeds")
 	}
-	for i := range sa.Samples {
-		if sa.Samples[i] != sb.Samples[i] {
-			t.Fatalf("sample %d differs: %v vs %v", i, sa.Samples[i], sb.Samples[i])
+	for i := 0; i < sa.Len(); i++ {
+		if sa.At(i) != sb.At(i) {
+			t.Fatalf("sample %d differs: %v vs %v", i, sa.At(i), sb.At(i))
 		}
 	}
 }

@@ -72,6 +72,12 @@ type AlignedResult struct {
 //
 // With offsets == nil, offsets of 0, ±5 s, ±10 s, ±20 s and ±30 s are
 // probed.
+//
+// RecognizeAligned is read-only on ns, so sorted telemetry can be
+// probed concurrently. Every candidate offset re-queries the same
+// series with shifted windows, so callers that can afford a one-time
+// mutation should ns.Seal() beforehand: the sealed prefix sums
+// amortize the whole alignment sweep to one pass per series.
 func (d *Dictionary) RecognizeAligned(ns *telemetry.NodeSet, offsets []time.Duration) AlignedResult {
 	if offsets == nil {
 		offsets = []time.Duration{

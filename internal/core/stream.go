@@ -90,6 +90,51 @@ func (s *Stream) Feed(metric string, node int, offset time.Duration, value float
 	}
 }
 
+// FeedRun delivers a run of samples sharing one (metric, node) pair as
+// parallel offset/value columns — the bulk form of Feed that the
+// server's batch ingest uses. The configured-metric check runs once
+// for the whole run and each window's accumulator is resolved at most
+// once, instead of per sample; the per-accumulator update sequence is
+// identical to feeding the samples one by one, so the resulting state
+// is exactly the same. Offsets and values must have equal length.
+func (s *Stream) FeedRun(metric string, node int, offsets []time.Duration, values []float64) {
+	for _, off := range offsets {
+		if off > s.seen {
+			s.seen = off
+		}
+	}
+	if node < 0 || node >= s.nodes {
+		return
+	}
+	configured := false
+	for _, m := range s.dict.cfg.Metrics {
+		if m == metric {
+			configured = true
+			break
+		}
+	}
+	if !configured {
+		return
+	}
+	for _, w := range s.dict.cfg.Windows {
+		var acc *stats.Online
+		for i, off := range offsets {
+			if !w.Contains(off) {
+				continue
+			}
+			if acc == nil {
+				k := streamKey{metric: metric, node: node, window: w}
+				acc = s.acc[k]
+				if acc == nil {
+					acc = &stats.Online{}
+					s.acc[k] = acc
+				}
+			}
+			acc.Add(values[i])
+		}
+	}
+}
+
 // Complete reports whether every configured window has closed, i.e.
 // telemetry at or beyond the latest window end has been observed.
 func (s *Stream) Complete() bool { return s.seen >= s.horizon }

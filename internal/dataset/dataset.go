@@ -30,26 +30,30 @@ type NodeMetricStats struct {
 	// are absent (what the EFD consumes). This is the canonical,
 	// serialized form; the recognition hot path reads byWindow instead.
 	WindowMeans map[string]float64
-	// byWindow indexes WindowMeans by the Window value itself, so the
-	// per-probe lookup in Execution.WindowMean needs no string
-	// formatting or allocation. Built by indexWindows (Summarize and
-	// the CSV loader call it); when nil, WindowMean falls back to the
-	// string-keyed map.
-	byWindow map[telemetry.Window]float64
+	// byWindow indexes WindowMeans by the Window value itself, as two
+	// parallel slices: configurations carry a handful of windows, so a
+	// linear scan beats both map hashing and string formatting on the
+	// recognition hot path (WindowMean is probed once per fingerprint
+	// key). Built by indexWindows (Summarize and the CSV loader call
+	// it); when empty, WindowMean falls back to the string-keyed map.
+	winKeys  []telemetry.Window
+	winMeans []float64
 }
 
 // indexWindows (re)builds the Window-keyed view of WindowMeans. It is
 // called at construction time; executions assembled by hand work
 // without it through the string-keyed fallback.
 func (nms *NodeMetricStats) indexWindows() {
+	nms.winKeys, nms.winMeans = nil, nil
 	if nms.WindowMeans == nil {
-		nms.byWindow = nil
 		return
 	}
-	nms.byWindow = make(map[telemetry.Window]float64, len(nms.WindowMeans))
+	nms.winKeys = make([]telemetry.Window, 0, len(nms.WindowMeans))
+	nms.winMeans = make([]float64, 0, len(nms.WindowMeans))
 	for ks, v := range nms.WindowMeans {
 		if w, err := telemetry.ParseWindow(ks); err == nil {
-			nms.byWindow[w] = v
+			nms.winKeys = append(nms.winKeys, w)
+			nms.winMeans = append(nms.winMeans, v)
 		}
 	}
 }
@@ -77,9 +81,13 @@ func (e *Execution) WindowMean(metric string, node int, w telemetry.Window) (flo
 	if !ok || node < 0 || node >= len(per) {
 		return 0, false
 	}
-	if idx := per[node].byWindow; idx != nil {
-		v, ok := idx[w]
-		return v, ok
+	if keys := per[node].winKeys; keys != nil {
+		for i, k := range keys {
+			if k == w {
+				return per[node].winMeans[i], true
+			}
+		}
+		return 0, false
 	}
 	v, ok := per[node].WindowMeans[w.Key()]
 	return v, ok
@@ -130,8 +138,12 @@ func DefaultWindows() []telemetry.Window {
 }
 
 // Summarize converts raw telemetry into an Execution record with the
-// given label and windows.
+// given label and windows. It seals the telemetry first (building the
+// per-series prefix sums), so extracting any number of window means
+// costs one pass over each series plus O(1) per window, instead of one
+// scan per (window, series) pair.
 func Summarize(id int, label apps.Label, ns *telemetry.NodeSet, windows []telemetry.Window) *Execution {
+	ns.Seal()
 	nodes := ns.Nodes()
 	e := &Execution{
 		ID:       id,
@@ -154,14 +166,16 @@ func Summarize(id int, label apps.Label, ns *telemetry.NodeSet, windows []teleme
 				continue
 			}
 			nms := NodeMetricStats{
-				Full:        stats.Describe(s.Values()),
+				Full:        stats.Describe(s.ValuesView()),
 				WindowMeans: make(map[string]float64, len(windows)),
-				byWindow:    make(map[telemetry.Window]float64, len(windows)),
+				winKeys:     make([]telemetry.Window, 0, len(windows)),
+				winMeans:    make([]float64, 0, len(windows)),
 			}
 			for wi, w := range windows {
 				if mean, err := s.WindowMean(w); err == nil {
 					nms.WindowMeans[winKeys[wi]] = mean
-					nms.byWindow[w] = mean
+					nms.winKeys = append(nms.winKeys, w)
+					nms.winMeans = append(nms.winMeans, mean)
 				}
 			}
 			per[i] = nms

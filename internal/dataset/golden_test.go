@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenGenConfig is the seeded grid the Summarize golden is captured
+// from: two applications, three metrics (ramping, memory, constant),
+// two repeats.
+func goldenGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Apps = []string{"ft", "mg"}
+	cfg.Cluster.Metrics = []string{
+		"nr_mapped_vmstat",
+		"Committed_AS_meminfo",
+		"MemTotal_meminfo",
+	}
+	cfg.Repeats = 2
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestGoldenSummarizeCSV pins the full-precision SaveCSV bytes of a
+// seeded Generate → Summarize run: every window mean and every
+// full-window summary moment, serialized in shortest round-trippable
+// form.
+//
+// Provenance: the golden was first captured before the columnar
+// telemetry refactor (PR 3) and regenerated once during it. The diff
+// was confined to the std/skew/kurtosis columns — the intentional
+// compensated-summation upgrade of stats.Variance/Skewness/Kurtosis —
+// while every window-mean, mean, min/max and percentile column stayed
+// byte-identical to the pre-refactor scan-based implementation.
+// Regenerate (only when an intentional numerics change demands it, and
+// say so in CHANGES.md) with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/dataset -run TestGoldenSummarizeCSV
+func TestGoldenSummarizeCSV(t *testing.T) {
+	ds, err := Generate(goldenGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	path := filepath.Join("testdata", "golden_summarize.csv")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Summarize CSV differs from golden:\n%s", firstCSVDiff(got, want))
+	}
+}
+
+// firstCSVDiff renders the first line where two CSV outputs diverge.
+func firstCSVDiff(got, want []byte) string {
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(gl), len(wl))
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// goldenConfig is the small seeded grid the byte-identity goldens are
+// rendered from: two applications, three metrics, enough repeats for
+// three folds. Small enough to regenerate in well under a second,
+// structured enough to exercise every protocol.
+func goldenConfig() dataset.GenConfig {
+	cfg := dataset.DefaultGenConfig()
+	cfg.Apps = []string{"ft", "mg"}
+	cfg.Cluster.Metrics = []string{
+		"nr_mapped_vmstat",
+		"Committed_AS_meminfo",
+		"MemTotal_meminfo",
+	}
+	cfg.Repeats = 4
+	cfg.Seed = 7
+	return cfg
+}
+
+// renderGoldenReport produces the full experiment report for the golden
+// grid: dataset composition, all five protocols, the per-metric sweep,
+// and the pooled normal-fold classification report. Everything in it is
+// derived from rounded fingerprint keys and integer counts, so the
+// bytes must survive any refactor of the telemetry/extraction layers.
+func renderGoldenReport(t *testing.T) []byte {
+	t.Helper()
+	ds, err := dataset.Generate(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarness(ds)
+	h.Folds = 3
+	var buf bytes.Buffer
+	RenderTable2(&buf, ds)
+	scores, err := h.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	RenderFigure2(&buf, scores)
+	rows, err := h.MetricSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	RenderTable3(&buf, rows, 0)
+	normal, err := h.NormalFold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	fmt.Fprint(&buf, normal.Report.String())
+	return buf.Bytes()
+}
+
+// TestGoldenReport pins the rendered experiment report byte-for-byte.
+// The golden file was captured before the columnar telemetry refactor
+// (PR 3), so a pass here means the refactored ingest/extraction path
+// reproduces the original reports exactly. Regenerate (only when an
+// intentional behaviour change demands it) with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestGoldenReport
+func TestGoldenReport(t *testing.T) {
+	got := renderGoldenReport(t)
+	path := filepath.Join("testdata", "golden_report.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report differs from golden:\n%s", firstDiff(got, want))
+	}
+}
+
+// firstDiff renders the first line where two outputs diverge.
+func firstDiff(got, want []byte) string {
+	gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("line %d:\n  got:  %q\n  want: %q", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: got %d, want %d", len(gl), len(wl))
+}

@@ -2,6 +2,8 @@ package ldms
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -98,9 +100,9 @@ func TestCollect(t *testing.T) {
 	if sr.Len() != 11 {
 		t.Errorf("series length = %d, want 11", sr.Len())
 	}
-	if sr.Samples[3].Value != 2103+0 {
+	if sr.ValueAt(3) != 2103+0 {
 		// aa on node 1 at t=3: 2*1000+1*100+3 = 2103.
-		t.Errorf("sample value = %v, want 2103", sr.Samples[3].Value)
+		t.Errorf("sample value = %v, want 2103", sr.ValueAt(3))
 	}
 	if err := ns.Validate(); err != nil {
 		t.Errorf("collected telemetry invalid: %v", err)
@@ -144,9 +146,9 @@ func TestCSVRoundTrip(t *testing.T) {
 		if a.Len() != b.Len() {
 			t.Fatalf("metric %s length %d vs %d", m, a.Len(), b.Len())
 		}
-		for i := range a.Samples {
-			if a.Samples[i] != b.Samples[i] {
-				t.Fatalf("metric %s sample %d: %+v vs %+v", m, i, a.Samples[i], b.Samples[i])
+		for i := 0; i < a.Len(); i++ {
+			if a.At(i) != b.At(i) {
+				t.Fatalf("metric %s sample %d: %+v vs %+v", m, i, a.At(i), b.At(i))
 			}
 		}
 	}
@@ -193,6 +195,167 @@ func TestWriteNodeCSVErrors(t *testing.T) {
 	ns.Put(sr)
 	if err := WriteNodeCSV(&buf, ns, 0); err == nil {
 		t.Error("missing node should fail")
+	}
+}
+
+// TestCSVRoundTripFractionalOffsets is the regression test for the
+// offset-precision drift: the writer used to format offsets with one
+// decimal while the reader truncated seconds*1e9, so 0.1 s came back
+// as 99999999 ns and sub-decisecond offsets collided. Full-precision
+// offsets plus nanosecond rounding must make write→read→write a fixed
+// point, byte for byte.
+func TestCSVRoundTripFractionalOffsets(t *testing.T) {
+	ns := telemetry.NewNodeSet()
+	s := telemetry.NewSeries("m", 0, 0)
+	offsets := []time.Duration{
+		0,
+		100 * time.Millisecond, // 0.1 s: the historical drift case
+		250 * time.Millisecond,
+		time.Second + 1, // 1.000000001 s: sub-decisecond resolution
+		2 * time.Second,
+	}
+	for i, off := range offsets {
+		s.Append(off, float64(i)+0.125)
+	}
+	ns.Put(s)
+
+	var first bytes.Buffer
+	if err := WriteNodeCSV(&first, ns, 0); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNodeCSV(bytes.NewReader(first.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Get(0, "m")
+	if got.Len() != len(offsets) {
+		t.Fatalf("round-trip length = %d, want %d", got.Len(), len(offsets))
+	}
+	for i, off := range offsets {
+		if sm := got.At(i); sm.Offset != off || sm.Value != float64(i)+0.125 {
+			t.Errorf("sample %d = %+v, want offset %v value %v", i, sm, off, float64(i)+0.125)
+		}
+	}
+	var second bytes.Buffer
+	if err := WriteNodeCSV(&second, back, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("write→read→write is not a fixed point:\nfirst:  %q\nsecond: %q",
+			first.String(), second.String())
+	}
+}
+
+// TestReadNodeCSVMatchesStd pins the byte-oriented reader to the
+// encoding/csv baseline on realistic collector output.
+func TestReadNodeCSVMatchesStd(t *testing.T) {
+	s, _ := NewSampler("s", []string{"m1", "m2", "m3"})
+	c, _ := NewCollector([]Sampler{s}, time.Second)
+	ns, err := c.Collect(rampSource{}, 1, 120*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNodeCSV(&buf, ns, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadNodeCSV(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadNodeCSVStd(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range a.Metrics() {
+		sa, sb := a.Get(0, m), b.Get(0, m)
+		if sa.Len() != sb.Len() {
+			t.Fatalf("metric %s length %d vs %d", m, sa.Len(), sb.Len())
+		}
+		for i := 0; i < sa.Len(); i++ {
+			if sa.At(i) != sb.At(i) {
+				t.Fatalf("metric %s sample %d: %+v vs %+v", m, i, sa.At(i), sb.At(i))
+			}
+		}
+	}
+}
+
+func TestReadExecutionCSVRoundTrip(t *testing.T) {
+	s, _ := NewSampler("s", []string{"aa", "bbb"})
+	c, _ := NewCollector([]Sampler{s}, time.Second)
+	ns, err := c.Collect(rampSource{}, 3, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExecutionCSV(&buf, ns); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := ReadExecutionCSV(bytes.NewReader(buf.Bytes()), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Nodes()) != 3 {
+			t.Fatalf("workers=%d nodes = %v", workers, got.Nodes())
+		}
+		for _, node := range ns.Nodes() {
+			for _, m := range ns.Metrics() {
+				a, b := ns.Get(node, m), got.Get(node, m)
+				if b == nil || a.Len() != b.Len() {
+					t.Fatalf("workers=%d node %d metric %s missing or wrong length", workers, node, m)
+				}
+				for i := 0; i < a.Len(); i++ {
+					if a.At(i) != b.At(i) {
+						t.Fatalf("node %d metric %s sample %d: %+v vs %+v",
+							node, m, i, a.At(i), b.At(i))
+					}
+				}
+			}
+		}
+	}
+	if _, err := ReadExecutionCSV(strings.NewReader("#Time,m\n0,1\n"), 0); err == nil {
+		t.Error("execution CSV without node separators should fail")
+	}
+	if _, err := ReadExecutionCSV(strings.NewReader(""), 0); err == nil {
+		t.Error("empty execution CSV should fail")
+	}
+}
+
+func TestReadNodeCSVFiles(t *testing.T) {
+	s, _ := NewSampler("s", []string{"m"})
+	c, _ := NewCollector([]Sampler{s}, time.Second)
+	ns, err := c.Collect(rampSource{}, 4, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]bytes.Buffer, 4)
+	for node := 0; node < 4; node++ {
+		if err := WriteNodeCSV(&bufs[node], ns, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadNodeCSVFiles(func(i int) (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(bufs[i].Bytes())), nil
+	}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes()) != 4 {
+		t.Fatalf("nodes = %v", got.Nodes())
+	}
+	for node := 0; node < 4; node++ {
+		a, b := ns.Get(node, "m"), got.Get(node, "m")
+		for i := 0; i < a.Len(); i++ {
+			if a.At(i) != b.At(i) {
+				t.Fatalf("node %d sample %d differs", node, i)
+			}
+		}
+	}
+	if _, err := ReadNodeCSVFiles(func(i int) (io.ReadCloser, error) {
+		return nil, fmt.Errorf("boom")
+	}, 1, 1); err == nil {
+		t.Error("open failure should propagate")
 	}
 }
 

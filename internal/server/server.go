@@ -100,6 +100,12 @@ type job struct {
 	// done marks a job that has been labelled or deleted; a handler
 	// that resolved the pointer before removal treats it as gone.
 	done bool
+	// colOff/colVal are the job's reused ingest scratch: feedJob
+	// regroups each wire batch into columnar (metric, node) runs here
+	// before handing them to Stream.FeedRun, so steady-state ingest
+	// allocates nothing per batch. Guarded by mu like the stream.
+	colOff []time.Duration
+	colVal []float64
 }
 
 // counters are the service's monotonically increasing metrics, exposed
@@ -576,12 +582,27 @@ func (s *Server) feedJob(j *job, samples []wireSample) (int, bool) {
 	if j.done {
 		return 0, false
 	}
-	for _, smp := range samples {
-		offset := time.Duration(smp.OffsetS * float64(time.Second))
-		j.stream.Feed(smp.Metric, smp.Node, offset, smp.Value)
-		if offset > j.lastOff {
-			j.lastOff = offset
+	// LDMS forwarders emit long runs of one metric set on one node;
+	// regroup the batch into those contiguous (metric, node) runs and
+	// feed each as one columnar append, so the stream resolves metric
+	// configuration and window accumulators once per run instead of
+	// once per sample.
+	for i := 0; i < len(samples); {
+		metric, node := samples[i].Metric, samples[i].Node
+		j.colOff, j.colVal = j.colOff[:0], j.colVal[:0]
+		for ; i < len(samples) && samples[i].Metric == metric && samples[i].Node == node; i++ {
+			// Round, don't truncate: a forwarder that accumulated
+			// 59.999999999999996 means the 60 s tick, and truncation
+			// would silently drop it from the [60:120) window.
+			// validateSamples already bounded the magnitude.
+			offset := time.Duration(math.Round(samples[i].OffsetS * float64(time.Second)))
+			j.colOff = append(j.colOff, offset)
+			j.colVal = append(j.colVal, samples[i].Value)
+			if offset > j.lastOff {
+				j.lastOff = offset
+			}
 		}
+		j.stream.FeedRun(metric, node, j.colOff, j.colVal)
 	}
 	j.samples += int64(len(samples))
 	return len(samples), true

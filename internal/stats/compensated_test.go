@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTwoSumExact(t *testing.T) {
+	cases := [][2]float64{
+		{1e16, 1}, {1, 1e-30}, {-1e308, 1e308}, {3.14, 2.71}, {0, 0},
+	}
+	for _, c := range cases {
+		s, e := TwoSum(c[0], c[1])
+		if s != c[0]+c[1] {
+			t.Errorf("TwoSum(%g,%g) s = %g, want fl(a+b) = %g", c[0], c[1], s, c[0]+c[1])
+		}
+		// For these magnitudes the error term is exactly recoverable:
+		// a+b == s+e must hold in extended evaluation. Verify with the
+		// classic 1e16+1 case where the error is exactly 1.
+		_ = e
+	}
+	s, e := TwoSum(1e16, 1)
+	if s != 1e16 || e != 1 {
+		t.Errorf("TwoSum(1e16, 1) = (%g, %g), want (1e16, 1)", s, e)
+	}
+}
+
+func TestDDAccumulatorRecoversLostBits(t *testing.T) {
+	// Summing 1e16 and 10_000 copies of 1.0 naively loses every unit
+	// increment (1 < ulp(1e16) = 2); the DD accumulator keeps them.
+	var d DD
+	d.Add(1e16)
+	for i := 0; i < 10_000; i++ {
+		d.Add(1)
+	}
+	d.Add(-1e16)
+	if got := d.Value(); got != 10_000 {
+		t.Errorf("DD sum = %v, want 10000", got)
+	}
+}
+
+func TestMomentsFromPowerSumsMatchesSliceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, scale := range []float64{1e-3, 1.0, 1e6, 1e9} {
+		xs := make([]float64, 240)
+		for i := range xs {
+			xs[i] = scale * (1 + 0.1*rng.NormFloat64())
+		}
+		var s1, s2, s3, s4 DD
+		for _, x := range xs {
+			x2 := Sq(x)
+			s1.Add(x)
+			s2.AddDD(x2)
+			s3.AddDD(x2.Scale(x))
+			s4.AddDD(x2.Mul(x2))
+		}
+		m := MomentsFromPowerSums(len(xs), s1, s2, s3, s4)
+		checks := []struct {
+			name      string
+			got, want float64
+			tol       float64
+		}{
+			{"mean", m.Mean, KahanMean(xs), 1e-14},
+			{"variance", m.Variance, Variance(xs), 1e-9},
+			{"stddev", m.StdDev, StdDev(xs), 1e-9},
+			{"skewness", m.Skewness, Skewness(xs), 1e-6},
+			{"kurtosis", m.Kurtosis, Kurtosis(xs), 1e-6},
+		}
+		for _, c := range checks {
+			if relErr(c.got, c.want) > c.tol {
+				t.Errorf("scale %g: %s = %v, slice stats say %v (rel err %g)",
+					scale, c.name, c.got, c.want, relErr(c.got, c.want))
+			}
+		}
+	}
+}
+
+func TestMomentsFromPowerSumsDegenerate(t *testing.T) {
+	if m := MomentsFromPowerSums(0, DD{}, DD{}, DD{}, DD{}); m != (Moments{}) {
+		t.Errorf("n=0 moments = %+v, want zero", m)
+	}
+	// Constant series: variance, skewness, kurtosis all zero even
+	// though the raw sums are enormous.
+	var s1, s2, s3, s4 DD
+	n := 100
+	for i := 0; i < n; i++ {
+		s1.Add(1e9)
+		s2.Add(1e18)
+		s3.Add(1e27)
+		s4.Add(1e36)
+	}
+	m := MomentsFromPowerSums(n, s1, s2, s3, s4)
+	if m.Mean != 1e9 || m.Variance != 0 || m.Skewness != 0 || m.Kurtosis != 0 {
+		t.Errorf("constant moments = %+v", m)
+	}
+}
+
+// TestMomentsLargeBaseline is the satellite numerical-stability check:
+// values ~1e9 apart from zero with unit-scale structure. A naive
+// Σx²−n·mean² at float64 loses all ~17 digits; both the compensated
+// slice statistics and the double-double power-sum path must recover
+// the exact moments of the shifted data.
+func TestMomentsLargeBaseline(t *testing.T) {
+	base := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	shift := 1e9
+	shifted := make([]float64, len(base))
+	for i, x := range base {
+		shifted[i] = x + shift
+	}
+	// Shifting by a constant leaves central moments untouched.
+	wantVar := Variance(base)
+	wantSkew := Skewness(base)
+	wantKurt := Kurtosis(base)
+
+	if got := Variance(shifted); relErr(got, wantVar) > 1e-9 {
+		t.Errorf("Variance(x+1e9) = %v, want %v", got, wantVar)
+	}
+	if got := Skewness(shifted); math.Abs(got-wantSkew) > 1e-6 {
+		t.Errorf("Skewness(x+1e9) = %v, want %v", got, wantSkew)
+	}
+	if got := Kurtosis(shifted); math.Abs(got-wantKurt) > 1e-6 {
+		t.Errorf("Kurtosis(x+1e9) = %v, want %v", got, wantKurt)
+	}
+
+	// The power-sum path centers at a per-series constant K (the
+	// telemetry layer uses the first sample): moments are
+	// shift-invariant, so MomentsFromPowerSums over Σ(x−K)^p returns
+	// them directly, with only Mean needing the K added back. Raw
+	// (uncentered) sums at a 1e9 baseline would need ~167 bits for the
+	// fourth moment — beyond even double-double — which is exactly why
+	// the convention centers first.
+	k := shifted[0]
+	var s1, s2, s3, s4 DD
+	for _, x := range shifted {
+		y := x - k
+		y2 := Sq(y)
+		s1.Add(y)
+		s2.AddDD(y2)
+		s3.AddDD(y2.Scale(y))
+		s4.AddDD(y2.Mul(y2))
+	}
+	m := MomentsFromPowerSums(len(shifted), s1, s2, s3, s4)
+	if got, want := m.Mean+k, KahanMean(shifted); relErr(got, want) > 1e-14 {
+		t.Errorf("power-sum Mean = %v, want %v", got, want)
+	}
+	if relErr(m.Variance, wantVar) > 1e-9 {
+		t.Errorf("power-sum Variance = %v, want %v", m.Variance, wantVar)
+	}
+	if math.Abs(m.Skewness-wantSkew) > 1e-6 {
+		t.Errorf("power-sum Skewness = %v, want %v", m.Skewness, wantSkew)
+	}
+	if math.Abs(m.Kurtosis-wantKurt) > 1e-6 {
+		t.Errorf("power-sum Kurtosis = %v, want %v", m.Kurtosis, wantKurt)
+	}
+}
+
+// TestDescribeMatchesStandaloneBitwise pins the fused Describe to the
+// standalone statistics bit for bit: the fusion removes passes, not
+// precision, and serialized datasets depend on the exact bytes.
+func TestDescribeMatchesStandaloneBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 2, 3, 4, 5, 60, 175, 600} {
+		for _, scale := range []float64{1e-4, 1, 1e9} {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = scale * (1 + 0.2*rng.NormFloat64())
+			}
+			s := Describe(xs)
+			ps, _ := Percentiles(xs, []float64{5, 25, 50, 75, 95})
+			want := Summary{
+				Count: n, Mean: KahanMean(xs), StdDev: StdDev(xs),
+				Min: Min(xs), Max: Max(xs),
+				Skewness: Skewness(xs), Kurtosis: Kurtosis(xs),
+				P5: ps[0], P25: ps[1], P50: ps[2], P75: ps[3], P95: ps[4],
+			}
+			if s != want {
+				t.Errorf("n=%d scale=%g: Describe = %+v, standalone = %+v", n, scale, s, want)
+			}
+		}
+	}
+	// Constant input: zero variance guards.
+	s := Describe([]float64{5, 5, 5, 5})
+	if s.StdDev != 0 || s.Skewness != 0 || s.Kurtosis != 0 {
+		t.Errorf("constant Describe = %+v", s)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

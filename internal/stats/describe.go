@@ -45,17 +45,23 @@ func KahanMean(xs []float64) float64 {
 }
 
 // Variance returns the unbiased (n-1) sample variance of xs. It returns
-// 0 when fewer than two samples are available.
+// 0 when fewer than two samples are available. Both the center and the
+// squared-deviation sum use compensated summation, matching the
+// precision Describe's mean always had — on large-magnitude counters
+// (~1e9 baselines) the uncompensated version loses several digits.
 func Variance(xs []float64) float64 {
 	n := len(xs)
 	if n < 2 {
 		return 0
 	}
-	m := Mean(xs)
-	var ss float64
+	m := KahanMean(xs)
+	var ss, comp float64
 	for _, x := range xs {
 		d := x - m
-		ss += d * d
+		y := d*d - comp
+		t := ss + y
+		comp = (t - ss) - y
+		ss = t
 	}
 	return ss / float64(n-1)
 }
@@ -101,12 +107,19 @@ func Skewness(xs []float64) float64 {
 	if n < 3 {
 		return 0
 	}
-	m := Mean(xs)
-	var m2, m3 float64
+	m := KahanMean(xs)
+	var m2, c2, m3, c3 float64
 	for _, x := range xs {
 		d := x - m
-		m2 += d * d
-		m3 += d * d * d
+		d2 := d * d
+		y := d2 - c2
+		t := m2 + y
+		c2 = (t - m2) - y
+		m2 = t
+		y = d2*d - c3
+		t = m3 + y
+		c3 = (t - m3) - y
+		m3 = t
 	}
 	m2 /= n
 	m3 /= n
@@ -125,13 +138,19 @@ func Kurtosis(xs []float64) float64 {
 	if n < 4 {
 		return 0
 	}
-	m := Mean(xs)
-	var m2, m4 float64
+	m := KahanMean(xs)
+	var m2, c2, m4, c4 float64
 	for _, x := range xs {
 		d := x - m
 		d2 := d * d
-		m2 += d2
-		m4 += d2 * d2
+		y := d2 - c2
+		t := m2 + y
+		c2 = (t - m2) - y
+		m2 = t
+		y = d2*d2 - c4
+		t = m4 + y
+		c4 = (t - m4) - y
+		m4 = t
 	}
 	m2 /= n
 	m4 /= n
@@ -222,25 +241,73 @@ type Summary struct {
 }
 
 // Describe computes a Summary of xs. Empty input yields a zero Summary.
+//
+// It is the fused form of the individual statistics: one sorted copy
+// serves all five percentiles, and a single central-moment pass
+// accumulates Σd², Σd³ and Σd⁴ together. Each power keeps its own
+// compensated summation and the shared mean is the same KahanMean the
+// standalone functions compute, so every field is bit-identical to
+// calling Variance/Skewness/Kurtosis/Percentiles separately — at a
+// third of the passes over the data.
 func Describe(xs []float64) Summary {
-	if len(xs) == 0 {
+	n := len(xs)
+	if n == 0 {
 		return Summary{}
 	}
-	ps, _ := Percentiles(xs, []float64{5, 25, 50, 75, 95})
-	return Summary{
-		Count:    len(xs),
-		Mean:     KahanMean(xs),
-		StdDev:   StdDev(xs),
-		Min:      Min(xs),
-		Max:      Max(xs),
-		Skewness: Skewness(xs),
-		Kurtosis: Kurtosis(xs),
-		P5:       ps[0],
-		P25:      ps[1],
-		P50:      ps[2],
-		P75:      ps[3],
-		P95:      ps[4],
+	// The five percentiles interpolate between at most ten order
+	// statistics; selectRanks establishes exactly those positions
+	// instead of fully sorting the copy (same values, far fewer
+	// comparisons — the sort dominated Summarize before).
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	var rankBuf [10]int
+	selectRanks(sorted, percentileRanks(rankBuf[:0], n, 5, 25, 50, 75, 95))
+
+	mean := KahanMean(xs)
+	var s2, c2, s3, c3, s4, c4 float64
+	for _, x := range xs {
+		d := x - mean
+		d2 := d * d
+		y := d2 - c2
+		t := s2 + y
+		c2 = (t - s2) - y
+		s2 = t
+		y = d2*d - c3
+		t = s3 + y
+		c3 = (t - s3) - y
+		s3 = t
+		y = d2*d2 - c4
+		t = s4 + y
+		c4 = (t - s4) - y
+		s4 = t
 	}
+	out := Summary{
+		Count: n,
+		Mean:  mean,
+		Min:   Min(xs),
+		Max:   Max(xs),
+		P5:    percentileSorted(sorted, 5),
+		P25:   percentileSorted(sorted, 25),
+		P50:   percentileSorted(sorted, 50),
+		P75:   percentileSorted(sorted, 75),
+		P95:   percentileSorted(sorted, 95),
+	}
+	fn := float64(n)
+	if n >= 2 {
+		out.StdDev = math.Sqrt(s2 / (fn - 1))
+	}
+	m2 := s2 / fn
+	if n >= 3 && m2 != 0 {
+		m3 := s3 / fn
+		g1 := m3 / math.Pow(m2, 1.5)
+		out.Skewness = math.Sqrt(fn*(fn-1)) / (fn - 2) * g1
+	}
+	if n >= 4 && m2 != 0 {
+		m4 := s4 / fn
+		g2 := m4/(m2*m2) - 3
+		out.Kurtosis = ((fn - 1) / ((fn - 2) * (fn - 3))) * ((fn+1)*g2 + 6)
+	}
+	return out
 }
 
 // Vector flattens the Summary into the 11-feature layout used by the

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// multiselect: Describe needs ten order statistics (the floor/ceil
+// ranks of five percentiles), not a fully sorted copy. selectRanks
+// rearranges the slice so exactly those positions hold their
+// fully-sorted values — the partition work only recurses into
+// subranges that still contain wanted ranks, which is markedly cheaper
+// than pdqsort on telemetry-sized inputs and returns bit-identical
+// percentile values (the selected positions ARE the sorted positions).
+
+// selectRanksCutoff is the subrange size below which selectRanks just
+// sorts: insertion-grade ranges are cheaper to finish than to keep
+// partitioning.
+const selectRanksCutoff = 24
+
+// selectRanks partially orders xs in place so that for every index r
+// in ranks (which must be sorted, unique, and in [0, len(xs))),
+// xs[r] holds the value a full sort would place there. A depth budget
+// of 2·log₂(n) guards against quadratic behaviour; subranges that
+// exhaust it are sorted outright.
+func selectRanks(xs []float64, ranks []int) {
+	if len(xs) == 0 || len(ranks) == 0 {
+		return
+	}
+	maxDepth := 2 * bits.Len(uint(len(xs)))
+	selectRange(xs, 0, len(xs), ranks, maxDepth)
+}
+
+// selectRange establishes the wanted ranks inside xs[lo:hi).
+func selectRange(xs []float64, lo, hi int, ranks []int, depth int) {
+	for {
+		if len(ranks) == 0 || hi-lo <= 1 {
+			return
+		}
+		if hi-lo <= selectRanksCutoff || depth <= 0 {
+			sort.Float64s(xs[lo:hi])
+			return
+		}
+		depth--
+		p := partitionMedian3(xs, lo, hi)
+		// Ranks strictly left of the pivot recurse; the pivot's own
+		// rank is already final; ranks right of it iterate in place.
+		i := sort.SearchInts(ranks, p)
+		selectRange(xs, lo, p, ranks[:i], depth)
+		if i < len(ranks) && ranks[i] == p {
+			i++
+		}
+		ranks = ranks[i:]
+		lo = p + 1
+	}
+}
+
+// partitionMedian3 partitions xs[lo:hi) around a median-of-three pivot
+// (Lomuto scheme) and returns the pivot's final index: everything left
+// of it is strictly smaller, everything right of it is >= the pivot,
+// so the returned index holds exactly the value a full sort would put
+// there.
+func partitionMedian3(xs []float64, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if xs[mid] < xs[lo] {
+		xs[lo], xs[mid] = xs[mid], xs[lo]
+	}
+	if xs[hi-1] < xs[mid] {
+		xs[mid], xs[hi-1] = xs[hi-1], xs[mid]
+		if xs[mid] < xs[lo] {
+			xs[lo], xs[mid] = xs[mid], xs[lo]
+		}
+	}
+	xs[mid], xs[hi-1] = xs[hi-1], xs[mid]
+	pivot := xs[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi-1] = xs[hi-1], xs[i]
+	return i
+}
+
+// percentileRanks returns the sorted, deduplicated floor/ceil ranks
+// the given percentiles interpolate between for n samples, appended to
+// buf (reused by Describe).
+func percentileRanks(buf []int, n int, ps ...float64) []int {
+	buf = buf[:0]
+	for _, p := range ps {
+		rank := p / 100 * float64(n-1)
+		lo := int(rank)
+		buf = append(buf, lo)
+		if float64(lo) != rank && lo+1 < n {
+			buf = append(buf, lo+1)
+		}
+	}
+	sort.Ints(buf)
+	out := buf[:0]
+	for i, r := range buf {
+		if i == 0 || r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSelectRanksMatchesSort property-tests the multiselect: every
+// requested rank must hold exactly the fully-sorted value, across
+// sizes, distributions, and duplicate-heavy inputs.
+func TestSelectRanksMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	gen := map[string]func(n int) []float64{
+		"uniform": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			return xs
+		},
+		"duplicates": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(5))
+			}
+			return xs
+		},
+		"sorted": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		},
+		"reversed": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+			return xs
+		},
+		"constant": func(n int) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 7
+			}
+			return xs
+		},
+	}
+	for name, g := range gen {
+		for _, n := range []int{1, 2, 3, 10, 24, 25, 100, 300, 1000} {
+			for trial := 0; trial < 5; trial++ {
+				xs := g(n)
+				want := append([]float64(nil), xs...)
+				sort.Float64s(want)
+				got := append([]float64(nil), xs...)
+				var buf [10]int
+				ranks := percentileRanks(buf[:0], n, 5, 25, 50, 75, 95)
+				selectRanks(got, ranks)
+				for _, r := range ranks {
+					if got[r] != want[r] {
+						t.Fatalf("%s n=%d: rank %d = %v, sorted says %v", name, n, r, got[r], want[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectRanksArbitraryRanks exercises rank sets beyond the
+// percentile pattern, including the extremes.
+func TestSelectRanksArbitraryRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e6
+		}
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		seen := map[int]bool{}
+		var ranks []int
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			r := rng.Intn(n)
+			if !seen[r] {
+				seen[r] = true
+				ranks = append(ranks, r)
+			}
+		}
+		ranks = append(ranks, 0, n-1)
+		sort.Ints(ranks)
+		// Dedup after forcing the extremes in.
+		uniq := ranks[:0]
+		for i, r := range ranks {
+			if i == 0 || r != uniq[len(uniq)-1] {
+				uniq = append(uniq, r)
+			}
+		}
+		selectRanks(xs, uniq)
+		for _, r := range uniq {
+			if xs[r] != want[r] {
+				t.Fatalf("trial %d n=%d rank %d: %v vs %v", trial, n, r, xs[r], want[r])
+			}
+		}
+	}
+}
+
+func TestPercentileRanks(t *testing.T) {
+	// n=5: ranks for p=50 → 2.0 exactly (no ceil partner); p=25 → 1.0.
+	got := percentileRanks(nil, 5, 25, 50)
+	want := []int{1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("ranks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	// Fractional ranks include both interpolation neighbours.
+	got = percentileRanks(nil, 4, 50) // rank 1.5 → 1 and 2
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ranks = %v, want [1 2]", got)
+	}
+}

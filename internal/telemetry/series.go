@@ -1,19 +1,56 @@
 // Package telemetry defines the time-series model shared by the
 // synthetic monitoring substrate and the recognition layers: per-node,
 // per-metric series of 1 Hz samples, window extraction, and alignment.
+//
+// # Columnar layout
+//
+// A Series stores its samples column-wise (structure of arrays): one
+// []float64 of values and, only when needed, one []time.Duration of
+// offsets. Series whose samples arrive on the regular 1 Hz grid — the
+// monitoring path, which produces exactly offset i*DefaultPeriod for
+// the i-th sample — never materialize the offset column at all; the
+// offsets are implicit in the index, window bounds are computed by
+// integer arithmetic in O(1), and ingest is a single value append.
+// Irregular or out-of-order samples transparently materialize the
+// offset column and fall back to binary-searched bounds.
+//
+// # The sealed lifecycle
+//
+// A Series is mutable during ingest (Append, Sort) and can answer
+// window queries at any time by scanning the window. Calling Seal
+// freezes the current contents and builds a per-series prefix sum of
+// the values (~106-bit double-doubles), after which WindowMean answers
+// any window in O(1)/O(log n) regardless of window length — probing
+// many windows over one series, as Summarize, metric sweeps and
+// aligned recognition do, amortizes to a single pass. SealStats
+// additionally builds prefix power sums of the centered squares, cubes
+// and fourth powers (centering dodges the raw-moment cancellation), so
+// WindowStats — variance, skewness, kurtosis — becomes O(1) too; it is
+// opt-in because means alone are what the recognition pipeline needs.
+// Sealing costs one pass and 16 (Seal) plus 48 (SealStats) bytes per
+// sample; mutating the series again simply drops the seals. Sealed and
+// unsealed answers agree to the last bit except in astronomically
+// unlikely half-ulp ties (both paths round the same correctly-rounded
+// window sums).
 package telemetry
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // DefaultPeriod is the sampling period used by the LDMS-style monitor,
 // matching the 1-second collection interval of the Taxonomist dataset.
+// It is also the implicit-grid period: series sampled at exactly this
+// cadence store no offset column.
 const DefaultPeriod = time.Second
 
 // Sample is one timestamped measurement of a metric on a node. Time is
@@ -25,70 +62,249 @@ type Sample struct {
 }
 
 // Series is an ordered sequence of samples of a single metric on a
-// single node. Samples are kept sorted by offset; Append tracks whether
-// samples arrived in order (the monitoring path), and the windowing
-// accessors refuse flagged-unsorted data with ErrUnsortedSeries rather
-// than binary-search over it — call Sort after out-of-order ingestion.
-// Refusing (instead of sorting lazily) keeps Slice and WindowMean
-// read-only, so concurrent reads of a sorted series stay safe.
-// Mutating Samples directly bypasses the tracking; call Sort afterwards.
+// single node, stored column-wise (see the package comment). Samples
+// are kept sorted by offset; Append tracks whether samples arrived in
+// order (the monitoring path), and the windowing accessors refuse
+// flagged-unsorted data with ErrUnsortedSeries rather than search over
+// it — call Sort after out-of-order ingestion. Refusing (instead of
+// sorting lazily) keeps the window accessors read-only, so concurrent
+// reads of a sorted series stay safe.
 type Series struct {
-	Metric  string
-	Node    int
-	Samples []Sample
+	Metric string
+	Node   int
+
+	// offs is the explicit offset column; nil means the implicit grid:
+	// the i-th sample sits at exactly i*DefaultPeriod.
+	offs []time.Duration
+	// vals is the value column.
+	vals []float64
 	// unsorted records that an Append delivered an offset below the
 	// then-last sample, so the samples need a Sort before windowing.
 	unsorted bool
+	// pre is the sealed prefix-sum column: pre[i] is the double-double
+	// sum of vals[:i], so a window sum is one subtraction. nil until
+	// Seal; dropped by any mutation.
+	pre []stats.DD
+	// mom is the sealed higher-moment prefix column, built only by
+	// SealStats (most consumers need means alone): three interleaved
+	// (n+1)-length columns of Σ(x−center)^p for p = 2, 3, 4, centered
+	// on a mid-series value so the raw-moment cancellation stays
+	// proportional to the window's drift from center rather than the
+	// absolute baseline of the counter.
+	mom    []stats.DD
+	center float64
 }
 
 // NewSeries returns an empty series for the given metric and node with
 // capacity for n samples.
 func NewSeries(metric string, node, n int) *Series {
-	return &Series{Metric: metric, Node: node, Samples: make([]Sample, 0, n)}
+	return &Series{Metric: metric, Node: node, vals: make([]float64, 0, n)}
 }
 
-// Append adds a sample, keeping the series sorted when samples arrive in
-// order (the monitoring path). Out-of-order appends are accepted and
-// flagged; windowing fails with ErrUnsortedSeries until Sort runs.
+// NewSeriesFromColumns builds a series directly from parallel columns —
+// the bulk-ingest constructor. vals is adopted without copying; the
+// caller must not use it afterwards (subslices of one backing array
+// are fine: the series never writes past its own length). offs may be
+// nil (meaning the implicit 1 Hz grid), and offsets that all sit
+// exactly on the grid are likewise dropped in favour of the implicit
+// form; irregular offsets are copied, so a shared offsets column can
+// be passed for every series of a node without a later Sort of one
+// series corrupting its siblings.
+func NewSeriesFromColumns(metric string, node int, offs []time.Duration, vals []float64) *Series {
+	s := &Series{Metric: metric, Node: node, vals: vals}
+	if offs == nil {
+		return s
+	}
+	if len(offs) != len(vals) {
+		panic("telemetry: NewSeriesFromColumns column lengths differ")
+	}
+	grid := true
+	for i, off := range offs {
+		if off != time.Duration(i)*DefaultPeriod {
+			grid = false
+			break
+		}
+	}
+	if grid {
+		return s
+	}
+	s.offs = make([]time.Duration, len(offs))
+	copy(s.offs, offs)
+	for i := 1; i < len(s.offs); i++ {
+		if s.offs[i] < s.offs[i-1] {
+			s.unsorted = true
+			break
+		}
+	}
+	return s
+}
+
+// Append adds a sample, keeping the series sorted when samples arrive
+// in order (the monitoring path). Samples arriving on the 1 Hz grid
+// append only to the value column. Out-of-order appends are accepted
+// and flagged; windowing fails with ErrUnsortedSeries until Sort runs.
+// Appending to a sealed series drops the seal.
 func (s *Series) Append(offset time.Duration, value float64) {
-	if n := len(s.Samples); n > 0 && offset < s.Samples[n-1].Offset {
+	s.pre, s.mom = nil, nil
+	n := len(s.vals)
+	if s.offs == nil {
+		if offset == time.Duration(n)*DefaultPeriod {
+			s.vals = append(s.vals, value)
+			return
+		}
+		s.materializeOffsets()
+	}
+	if n > 0 && offset < s.offs[n-1] {
 		s.unsorted = true
 	}
-	s.Samples = append(s.Samples, Sample{Offset: offset, Value: value})
+	s.offs = append(s.offs, offset)
+	s.vals = append(s.vals, value)
+}
+
+// materializeOffsets converts the implicit grid into an explicit offset
+// column, in preparation for an off-grid append.
+func (s *Series) materializeOffsets() {
+	offs := make([]time.Duration, len(s.vals), cap(s.vals)+1)
+	for i := range offs {
+		offs[i] = time.Duration(i) * DefaultPeriod
+	}
+	s.offs = offs
 }
 
 // Sort orders the samples by offset and clears the out-of-order flag.
-// Ties keep their relative order.
+// Ties keep their relative order. If the sorted offsets land exactly
+// on the 1 Hz grid, the offset column is dropped again and the series
+// returns to the implicit-grid fast path. Sorting drops any seal.
 func (s *Series) Sort() {
-	sort.SliceStable(s.Samples, func(i, j int) bool {
-		return s.Samples[i].Offset < s.Samples[j].Offset
-	})
+	s.pre, s.mom = nil, nil
+	if s.offs == nil { // implicit grid is sorted by construction
+		s.unsorted = false
+		return
+	}
+	pairs := make([]Sample, len(s.vals))
+	for i := range pairs {
+		pairs[i] = Sample{Offset: s.offs[i], Value: s.vals[i]}
+	}
+	slices.SortStableFunc(pairs, compareSampleOffsets)
+	for i, p := range pairs {
+		s.offs[i], s.vals[i] = p.Offset, p.Value
+	}
 	s.unsorted = false
+	s.compactGrid()
+}
+
+// compareSampleOffsets orders samples by offset; it is a plain
+// top-level function, so SortStableFunc runs without a closure capture.
+func compareSampleOffsets(a, b Sample) int { return cmp.Compare(a.Offset, b.Offset) }
+
+// compactGrid drops the explicit offset column when every offset sits
+// exactly on the 1 Hz grid.
+func (s *Series) compactGrid() {
+	for i, off := range s.offs {
+		if off != time.Duration(i)*DefaultPeriod {
+			return
+		}
+	}
+	s.offs = nil
 }
 
 // Sorted reports whether every Append so far arrived in offset order
 // (or a Sort ran since the last out-of-order one).
 func (s *Series) Sorted() bool { return !s.unsorted }
 
+// Seal freezes the series for querying: it sorts if needed and builds
+// the prefix sums that make WindowMean independent of window length.
+// Sealing is idempotent and costs one pass over the samples plus 16
+// bytes per sample; any later Append or Sort drops the seal. A series
+// must not be sealed concurrently with reads (seal once, then share).
+// SealStats additionally prepares O(1) WindowStats.
+func (s *Series) Seal() {
+	if s.unsorted {
+		s.Sort()
+	}
+	if s.pre != nil {
+		return
+	}
+	pre := make([]stats.DD, len(s.vals)+1)
+	var acc stats.DD
+	for i, x := range s.vals {
+		acc.Add(x)
+		pre[i+1] = acc
+	}
+	s.pre = pre
+}
+
+// SealStats seals the series (like Seal) and additionally builds the
+// centered higher-power prefix sums (Σ(x−c)², Σ(x−c)³, Σ(x−c)⁴), so
+// WindowStats also answers in O(1) regardless of window length. It
+// costs one more pass and 48 further bytes per sample — callers that
+// only need window means should stick to Seal.
+func (s *Series) SealStats() {
+	s.Seal()
+	if s.mom != nil {
+		return
+	}
+	n := len(s.vals)
+	if n > 0 {
+		s.center = s.vals[n/2]
+	}
+	mom := make([]stats.DD, 3*(n+1))
+	var a2, a3, a4 stats.DD
+	for i, x := range s.vals {
+		y := x - s.center
+		y2 := stats.Sq(y)
+		a2.AddDD(y2)
+		a3.AddDD(y2.Scale(y))
+		a4.AddDD(y2.Mul(y2))
+		mom[3*(i+1)], mom[3*(i+1)+1], mom[3*(i+1)+2] = a2, a3, a4
+	}
+	s.mom = mom
+}
+
+// Sealed reports whether the prefix sums are current.
+func (s *Series) Sealed() bool { return s.pre != nil }
+
 // Len reports the number of samples.
-func (s *Series) Len() int { return len(s.Samples) }
+func (s *Series) Len() int { return len(s.vals) }
+
+// OffsetAt returns the offset of the i-th sample.
+func (s *Series) OffsetAt(i int) time.Duration {
+	if s.offs == nil {
+		if i < 0 || i >= len(s.vals) {
+			panic("telemetry: OffsetAt index out of range")
+		}
+		return time.Duration(i) * DefaultPeriod
+	}
+	return s.offs[i]
+}
+
+// ValueAt returns the value of the i-th sample.
+func (s *Series) ValueAt(i int) float64 { return s.vals[i] }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Sample {
+	return Sample{Offset: s.OffsetAt(i), Value: s.vals[i]}
+}
 
 // Duration reports the offset of the last sample, or 0 when empty.
 func (s *Series) Duration() time.Duration {
-	if len(s.Samples) == 0 {
+	if len(s.vals) == 0 {
 		return 0
 	}
-	return s.Samples[len(s.Samples)-1].Offset
+	return s.OffsetAt(len(s.vals) - 1)
 }
 
-// Values returns the raw values of all samples, in order.
+// Values returns a copy of the raw values of all samples, in order.
 func (s *Series) Values() []float64 {
-	out := make([]float64, len(s.Samples))
-	for i, sm := range s.Samples {
-		out[i] = sm.Value
-	}
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
 	return out
 }
+
+// ValuesView returns the value column itself, avoiding the copy that
+// Values makes. The caller must treat it as read-only and must not
+// hold it across mutations of the series.
+func (s *Series) ValuesView() []float64 { return s.vals }
 
 // Window is a half-open time interval [Start, End) measured from the
 // beginning of an execution. The paper's fingerprint interval is
@@ -159,10 +375,11 @@ var ErrShortSeries = errors.New("telemetry: series does not cover window")
 // windows.
 var ErrUnsortedSeries = errors.New("telemetry: series has out-of-order samples; call Sort first")
 
-// window binary-searches the [lo, hi) sample range covered by w. It is
-// strictly read-only: flagged-unsorted series are rejected, never
-// sorted in place, so concurrent reads of a well-formed series are
-// race-free.
+// window resolves the [lo, hi) sample range covered by w. On the
+// implicit grid the bounds are integer arithmetic (O(1)); with an
+// explicit offset column they binary-search it. It is strictly
+// read-only: flagged-unsorted series are rejected, never sorted in
+// place, so concurrent reads of a well-formed series are race-free.
 func (s *Series) window(w Window) (lo, hi int, err error) {
 	if !w.Valid() {
 		return 0, 0, fmt.Errorf("telemetry: invalid window %v", w)
@@ -170,12 +387,25 @@ func (s *Series) window(w Window) (lo, hi int, err error) {
 	if s.unsorted {
 		return 0, 0, ErrUnsortedSeries
 	}
-	lo = sort.Search(len(s.Samples), func(i int) bool {
-		return s.Samples[i].Offset >= w.Start
-	})
-	hi = sort.Search(len(s.Samples), func(i int) bool {
-		return s.Samples[i].Offset >= w.End
-	})
+	n := len(s.vals)
+	if s.offs == nil {
+		// First index with i*period >= bound, i.e. ceil(bound/period).
+		lo = int((w.Start + DefaultPeriod - 1) / DefaultPeriod)
+		hi = int((w.End + DefaultPeriod - 1) / DefaultPeriod)
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+	} else {
+		lo = sort.Search(n, func(i int) bool {
+			return s.offs[i] >= w.Start
+		})
+		hi = sort.Search(n, func(i int) bool {
+			return s.offs[i] >= w.End
+		})
+	}
 	if lo == hi {
 		return 0, 0, ErrShortSeries
 	}
@@ -192,30 +422,69 @@ func (s *Series) Slice(w Window) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, hi-lo)
-	for _, sm := range s.Samples[lo:hi] {
-		out = append(out, sm.Value)
-	}
+	out := make([]float64, hi-lo)
+	copy(out, s.vals[lo:hi])
 	return out, nil
 }
 
 // WindowMean returns the arithmetic mean of the samples in the window.
-// It iterates the sample range directly (Kahan-compensated) without
-// materializing a values slice, so recognition over raw telemetry does
-// not allocate per probe.
+// On a sealed series it is a prefix-sum subtraction — O(1) on the
+// implicit grid, O(log n) with explicit offsets, independent of window
+// length either way. Unsealed series are scanned without materializing
+// a slice; both paths accumulate in double-double precision and round
+// the same correctly-rounded window sum.
 func (s *Series) WindowMean(w Window) (float64, error) {
 	lo, hi, err := s.window(w)
 	if err != nil {
 		return 0, err
 	}
-	var sum, comp float64
-	for _, sm := range s.Samples[lo:hi] {
-		y := sm.Value - comp
-		t := sum + y
-		comp = (t - sum) - y
-		sum = t
+	if p := s.pre; p != nil {
+		sum := p[hi].Sub(p[lo])
+		return sum.Value() / float64(hi-lo), nil
 	}
-	return sum / float64(hi-lo), nil
+	var sum stats.DD
+	for _, x := range s.vals[lo:hi] {
+		sum.Add(x)
+	}
+	return sum.Value() / float64(hi-lo), nil
+}
+
+// WindowStats returns the descriptive moments (count, mean, variance,
+// standard deviation, skewness, kurtosis) of the samples in the
+// window, using the same estimator conventions as the stats package's
+// slice functions. After SealStats all four power sums come from
+// prefix subtractions, so the cost is independent of window length;
+// otherwise the window is scanned once.
+func (s *Series) WindowStats(w Window) (stats.Moments, error) {
+	lo, hi, err := s.window(w)
+	if err != nil {
+		return stats.Moments{}, err
+	}
+	n := hi - lo
+	var s1, s2, s3, s4 stats.DD
+	var center float64
+	if s.pre != nil && s.mom != nil {
+		center = s.center
+		// The mean prefix is uncentered; shift it to Σ(x−center) for
+		// the moment assembly. center*n is exact in double-double.
+		s1 = s.pre[hi].Sub(s.pre[lo]).Sub(stats.DDFrom(center).Scale(float64(n)))
+		s2 = s.mom[3*hi].Sub(s.mom[3*lo])
+		s3 = s.mom[3*hi+1].Sub(s.mom[3*lo+1])
+		s4 = s.mom[3*hi+2].Sub(s.mom[3*lo+2])
+	} else {
+		center = s.vals[lo]
+		for _, x := range s.vals[lo:hi] {
+			y := x - center
+			y2 := stats.Sq(y)
+			s1.Add(y)
+			s2.AddDD(y2)
+			s3.AddDD(y2.Scale(y))
+			s4.AddDD(y2.Mul(y2))
+		}
+	}
+	m := stats.MomentsFromPowerSums(n, s1, s2, s3, s4)
+	m.Mean += center
+	return m, nil
 }
 
 // Resample returns a copy of the series re-gridded to the given period
@@ -226,18 +495,18 @@ func (s *Series) Resample(period time.Duration) (*Series, error) {
 	if period <= 0 {
 		return nil, errors.New("telemetry: non-positive resample period")
 	}
-	if len(s.Samples) == 0 {
+	if len(s.vals) == 0 {
 		return &Series{Metric: s.Metric, Node: s.Node}, nil
 	}
 	dur := s.Duration()
 	n := int(dur/period) + 1
 	out := NewSeries(s.Metric, s.Node, n)
 	j := 0
-	last := s.Samples[0].Value
+	last := s.vals[0]
 	for i := 0; i < n; i++ {
 		at := time.Duration(i) * period
-		for j < len(s.Samples) && s.Samples[j].Offset <= at {
-			last = s.Samples[j].Value
+		for j < len(s.vals) && s.OffsetAt(j) <= at {
+			last = s.vals[j]
 			j++
 		}
 		out.Append(at, last)
@@ -250,19 +519,20 @@ func (s *Series) Resample(period time.Duration) (*Series, error) {
 // the series is well-formed.
 func (s *Series) Validate() error {
 	var prev time.Duration = -1
-	for i, sm := range s.Samples {
-		if sm.Offset < 0 {
+	for i, x := range s.vals {
+		off := s.OffsetAt(i)
+		if off < 0 {
 			return fmt.Errorf("telemetry: %s node %d sample %d: negative offset %v",
-				s.Metric, s.Node, i, sm.Offset)
+				s.Metric, s.Node, i, off)
 		}
-		if sm.Offset < prev {
+		if off < prev {
 			return fmt.Errorf("telemetry: %s node %d sample %d: out of order", s.Metric, s.Node, i)
 		}
-		if math.IsNaN(sm.Value) || math.IsInf(sm.Value, 0) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
 			return fmt.Errorf("telemetry: %s node %d sample %d: non-finite value",
 				s.Metric, s.Node, i)
 		}
-		prev = sm.Offset
+		prev = off
 	}
 	return nil
 }

@@ -56,8 +56,13 @@ func TestSeriesSort(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatalf("sorted series should validate: %v", err)
 	}
-	if s.Samples[0].Value != 10 || s.Samples[2].Value != 30 {
-		t.Errorf("sort order wrong: %+v", s.Samples)
+	if s.ValueAt(0) != 10 || s.ValueAt(2) != 30 {
+		t.Errorf("sort order wrong: %v", s.Values())
+	}
+	// The sorted offsets land back on the 1 Hz grid, so the offset
+	// column is dropped and accessors keep answering.
+	if s.OffsetAt(1) != sec(1) || s.At(2) != (Sample{Offset: sec(2), Value: 30}) {
+		t.Errorf("accessors after sort: OffsetAt(1)=%v At(2)=%+v", s.OffsetAt(1), s.At(2))
 	}
 }
 

@@ -2,11 +2,18 @@
 # Runs the benchmark suite once with allocation reporting and converts
 # the standard `go test -bench` output into a JSON array, so successive
 # runs (one BENCH_<rev>.json per revision) form a perf trajectory.
+# The raw `go test -bench` text is kept alongside as BENCH_<rev>.txt,
+# which is the input format benchstat consumes (see `make
+# bench-compare`). The suite includes the PR 3 data-plane benchmarks
+# (BenchmarkPipelineEndToEnd, BenchmarkWindowMean{Wide,Narrow},
+# BenchmarkLDMSIngest{,StdCSV}, BenchmarkSeriesSort) since -bench=.
+# matches them like every other root benchmark.
 #
 # Usage: scripts/bench.sh [out.json]
 set -eu
 
 out="${1:-BENCH_local.json}"
+raw="${out%.json}.txt"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -37,4 +44,5 @@ BEGIN { print "[" }
 END { if (n) printf "\n"; print "]" }
 ' "$tmp" > "$out"
 
-echo "wrote $out"
+cp "$tmp" "$raw"
+echo "wrote $out and $raw"

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Compares the two most recent benchmark runs (BENCH_<rev>.txt files,
+# ordered by modification time). Uses benchstat when it is installed;
+# otherwise falls back to a plain side-by-side ns/op and allocs/op
+# table, so the comparison works in hermetic environments too.
+#
+# Usage: scripts/bench_compare.sh [old.txt new.txt]
+set -eu
+
+if [ $# -ge 2 ]; then
+    old="$1"; new="$2"
+else
+    # Most recent two BENCH_*.txt by mtime: newest is "new".
+    set -- $(ls -t BENCH_*.txt 2>/dev/null | head -2)
+    if [ $# -lt 2 ]; then
+        echo "bench-compare: need two BENCH_<rev>.txt files (run 'make bench' on two revisions first)" >&2
+        exit 1
+    fi
+    new="$1"; old="$2"
+fi
+
+echo "comparing $old -> $new"
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "(benchstat not installed; showing plain deltas)"
+awk '
+FNR == 1 { file++ }
+/^Benchmark/ {
+    name = $1; ns = $3
+    allocs = "-"
+    for (i = 4; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+    if (file == 1) { oldns[name] = ns; oldal[name] = allocs; order[n++] = name }
+    else           { newns[name] = ns; newal[name] = allocs
+                     if (!(name in oldns)) order[n++] = name }
+}
+END {
+    printf "%-44s %14s %14s %8s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        o = (name in oldns) ? oldns[name] : "-"
+        w = (name in newns) ? newns[name] : "-"
+        d = "-"
+        if (o != "-" && w != "-" && o + 0 > 0) d = sprintf("%+.1f%%", (w - o) / o * 100)
+        printf "%-44s %14s %14s %8s %12s %12s\n", name, o, w, d, oldal[name], newal[name]
+    }
+}
+' "$old" "$new"
