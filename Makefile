@@ -2,9 +2,17 @@
 #
 #   make check     - tier-1 gate: build everything, vet, run all tests
 #                    under the race detector (the server is concurrent;
-#                    plain `go test` would miss data races)
+#                    plain `go test` would miss data races). Run
+#                    `make fuzz-short` alongside before merging storage
+#                    or codec changes — it exercises the on-disk
+#                    decoders the race tests cannot reach with
+#                    adversarial bytes.
 #   make test      - build + tests only (the original tier-1 command)
 #   make test-race - build + tests under -race
+#   make fuzz-short - bounded fuzz pass (FUZZTIME per target, default
+#                    10s) over the tsdb WAL/segment decoders and the
+#                    LDMS CSV reader: every parser that consumes bytes
+#                    a crash or a rotted disk may have produced
 #   make bench     - benchmark smoke run with allocation reporting; also
 #                    writes machine-readable results to BENCH_<rev>.json
 #                    plus the raw text to BENCH_<rev>.txt
@@ -16,8 +24,9 @@
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
+FUZZTIME ?= 10s
 
-.PHONY: check test test-race vet bench bench-compare
+.PHONY: check test test-race vet bench bench-compare fuzz-short
 
 check: test-race vet
 
@@ -29,6 +38,14 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Go's fuzzer takes one -fuzz pattern per invocation, so each decoder
+# gets its own bounded run; seed corpora make even a short run cover
+# the interesting frame/footer shapes.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentOpen$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	$(GO) test -run '^$$' -fuzz '^FuzzReadNodeCSV$$' -fuzztime $(FUZZTIME) ./internal/ldms
 
 bench:
 	./scripts/bench.sh "BENCH_$(REV).json"

@@ -35,6 +35,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/taxonomist"
 	"repro/internal/telemetry"
+	"repro/internal/tsdb"
 )
 
 // benchDS lazily generates the shared benchmark dataset: the full
@@ -750,6 +751,128 @@ func BenchmarkSeriesSort(b *testing.B) {
 		}
 		s.Sort()
 	}
+}
+
+// --- tsdb: the durable telemetry store ------------------------------
+
+// tsdbBenchStore opens a store in a fresh temp dir. Syncs are disabled
+// so the benchmarks measure the engine (encode, CRC, memtable, segment
+// build, mmap materialization) rather than the device's fsync latency;
+// BenchmarkTSDBCommit measures the fsync path separately.
+func tsdbBenchStore(b *testing.B) *tsdb.Store {
+	b.Helper()
+	st, err := tsdb.OpenOptions(b.TempDir(), tsdb.Options{NoSync: true, FlushBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+// BenchmarkTSDBWALAppend measures appending one 64-sample grid run to
+// the WAL + memtable — the per-run cost on the server's durable ingest
+// path.
+func BenchmarkTSDBWALAppend(b *testing.B) {
+	st := tsdbBenchStore(b)
+	if err := st.Register("j", 1); err != nil {
+		b.Fatal(err)
+	}
+	const run = 64
+	offs := make([]time.Duration, run)
+	vals := make([]float64, run)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < run; k++ {
+			offs[k] = time.Duration(i*run+k) * telemetry.DefaultPeriod
+			vals[k] = float64(k)
+		}
+		if err := st.Append("j", "cpu", 0, offs, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(run * 8)
+}
+
+// BenchmarkTSDBCommit measures the group-commit fsync that
+// acknowledges a batch (one append + one sync per op, real fsyncs).
+func BenchmarkTSDBCommit(b *testing.B) {
+	st, err := tsdb.OpenOptions(b.TempDir(), tsdb.Options{FlushBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	if err := st.Register("j", 1); err != nil {
+		b.Fatal(err)
+	}
+	offs := []time.Duration{0}
+	vals := []float64{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offs[0] = time.Duration(i) * telemetry.DefaultPeriod
+		if err := st.Append("j", "cpu", 0, offs, vals); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// tsdbBenchNodeSet builds an execution of series×n grid samples.
+func tsdbBenchNodeSet(series, n int) *telemetry.NodeSet {
+	ns := telemetry.NewNodeSet()
+	for si := 0; si < series; si++ {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(si*7 + i)
+		}
+		ns.Put(telemetry.NewSeriesFromColumns("m", si, nil, vals))
+	}
+	return ns
+}
+
+// BenchmarkTSDBSegmentFlush measures flushing one finished execution
+// (4 series × 4096 samples) into an immutable segment: columnar
+// write, per-block CRCs, histogram sketches, footer, mmap open, WAL
+// compaction.
+func BenchmarkTSDBSegmentFlush(b *testing.B) {
+	st := tsdbBenchStore(b)
+	ns := tsdbBenchNodeSet(4, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.IngestExecution(fmt.Sprintf("e%d", i), "", ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4 * 4096 * 8)
+}
+
+// BenchmarkTSDBMmapRead measures materializing a stored execution from
+// its mmap'd segment (zero value-column copies), sealing it, and
+// answering one window mean per series.
+func BenchmarkTSDBMmapRead(b *testing.B) {
+	st := tsdbBenchStore(b)
+	if err := st.IngestExecution("e", "", tsdbBenchNodeSet(4, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	w := telemetry.Window{Start: 60 * time.Second, End: 120 * time.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns, err := st.ExecutionSeries("e")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for node := 0; node < 4; node++ {
+			if _, err := ns.Get(node, "m").WindowMean(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(4 * 4096 * 8)
 }
 
 // BenchmarkPipelineEndToEnd runs the full data plane: simulate and

@@ -1,7 +1,7 @@
 // Command efdd serves a trained Execution Fingerprint Dictionary as an
 // HTTP monitoring service (see internal/server for the API).
 //
-//	efdd -dict dict.json -addr :8080 -save dict.json
+//	efdd -dict dict.json -addr :8080 -save dict.json -data-dir /var/lib/efdd
 //
 // An LDMS aggregator (or any telemetry forwarder) registers running
 // jobs, streams their per-node samples, and queries recognition results
@@ -10,6 +10,14 @@
 // gracefully and, when -save is given, re-saves the dictionary
 // (atomically, via a temp file + rename) so online-learned labels
 // survive restarts.
+//
+// With -data-dir the daemon runs storage-backed (internal/tsdb):
+// ingested samples are write-ahead logged before they are
+// acknowledged, labelled jobs become immutable columnar segment files
+// served and re-recognized over mmap, and a restart with the same
+// directory replays the WAL so running jobs resume exactly where the
+// previous process left them. Graceful shutdown flushes pending
+// executions into segments before exiting.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -50,6 +59,7 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		addr     = fs.String("addr", ":8080", "listen address")
 		maxJobs  = fs.Int("max-jobs", 4096, "maximum concurrently tracked jobs")
 		savePath = fs.String("save", "", "path to re-save the dictionary on graceful shutdown (labels learned online are lost without it; typically the -dict path)")
+		dataDir  = fs.String("data-dir", "", "durable telemetry store directory (WAL + segment files); jobs and their telemetry survive restarts")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,11 +84,34 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 	srv := server.New(dict)
 	srv.MaxJobs = *maxJobs
 
+	var store *tsdb.Store
+	if *dataDir != "" {
+		store, err = tsdb.Open(*dataDir)
+		if err != nil {
+			return fmt.Errorf("open telemetry store: %w", err)
+		}
+		recovered, err := srv.AttachStore(store)
+		if err != nil {
+			store.Close()
+			return fmt.Errorf("recover jobs from store: %w", err)
+		}
+		st := store.Stats()
+		fmt.Fprintf(out, "efdd: telemetry store %s — %d jobs recovered, %d stored executions, %d segments\n",
+			*dataDir, recovered, st.Executions, st.Segments)
+		if st.QuarantinedWALBytes > 0 || st.QuarantinedSegments > 0 {
+			fmt.Fprintf(out, "efdd: store recovery quarantined %d WAL bytes, %d segments (see %s)\n",
+				st.QuarantinedWALBytes, st.QuarantinedSegments, *dataDir)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if store != nil {
+			store.Close()
+		}
 		return err
 	}
 	fmt.Fprintf(out, "efdd: listening on %s\n", ln.Addr())
@@ -115,6 +148,16 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 			exitErr = fmt.Errorf("shutdown: %w", err)
 		} else {
 			<-serveErr // Serve has returned http.ErrServerClosed
+		}
+	}
+	if store != nil {
+		// Graceful-shutdown flush: pending finished executions land in
+		// an immutable segment and the WAL is synced, so the next
+		// start replays only still-running jobs.
+		if err := store.Close(); err != nil {
+			exitErr = errors.Join(exitErr, fmt.Errorf("close telemetry store: %w", err))
+		} else {
+			fmt.Fprintf(out, "efdd: telemetry store flushed\n")
 		}
 	}
 	if *savePath != "" {

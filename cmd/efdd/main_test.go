@@ -136,6 +136,147 @@ func TestGracefulShutdownSavesLearnedLabels(t *testing.T) {
 	}
 }
 
+// TestRestartRecoversIngestedJobs is the storage-backed end-to-end
+// restart test: ingest samples into a -data-dir daemon, SIGTERM it,
+// restart over the same directory, and require the recognition state
+// of the recovered job to be byte-identical to an uninterrupted
+// in-memory daemon fed the same samples.
+func TestRestartRecoversIngestedJobs(t *testing.T) {
+	dir := t.TempDir()
+	dictPath := filepath.Join(dir, "dict.json")
+	dataDir := filepath.Join(dir, "store")
+
+	d, err := core.NewDictionary(core.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Learn(flatSource{nodes: 2, level: 6000}, apps.Label{App: "ft", Input: apps.InputX})
+	f, err := os.Create(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	start := func(ctx context.Context, dataDir string) (base string, done chan error) {
+		t.Helper()
+		addrCh := make(chan string, 1)
+		done = make(chan error, 1)
+		args := []string{"-dict", dictPath, "-addr", "127.0.0.1:0"}
+		if dataDir != "" {
+			args = append(args, "-data-dir", dataDir)
+		}
+		go func() {
+			done <- run(ctx, args, io.Discard, func(a string) { addrCh <- a })
+		}()
+		select {
+		case a := <-addrCh:
+			return "http://" + a, done
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not start listening")
+		}
+		return "", nil
+	}
+
+	feed := func(base, jobID string, from, to int) {
+		t.Helper()
+		var samples []map[string]any
+		for sec := from; sec <= to; sec++ {
+			for node := 0; node < 2; node++ {
+				samples = append(samples, map[string]any{
+					"metric": apps.HeadlineMetric, "node": node,
+					"offset_s": float64(sec), "value": 6000.0,
+				})
+			}
+		}
+		if resp := postJSON(t, base+"/v1/samples", map[string]any{"job_id": jobID, "samples": samples}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("samples: %v", resp.Status)
+		}
+	}
+	jobState := func(base, jobID string) string {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job state: %v %s", resp.Status, b)
+		}
+		return string(b)
+	}
+
+	// Daemon 1: storage-backed; partial window ingested, then SIGTERM.
+	base1, done1 := start(context.Background(), dataDir)
+	if resp := postJSON(t, base1+"/v1/jobs", map[string]any{"job_id": "j1", "nodes": 2}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v", resp.Status)
+	}
+	feed(base1, "j1", 0, 90)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done1:
+		if err != nil {
+			t.Fatalf("daemon 1 exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon 1 did not shut down after SIGTERM")
+	}
+
+	// Reference: an uninterrupted in-memory daemon fed identically.
+	refCtx, refCancel := context.WithCancel(context.Background())
+	baseRef, doneRef := start(refCtx, "")
+	if resp := postJSON(t, baseRef+"/v1/jobs", map[string]any{"job_id": "j1", "nodes": 2}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("register ref")
+	}
+	feed(baseRef, "j1", 0, 90)
+	want := jobState(baseRef, "j1")
+
+	// Daemon 2: same data dir; the job must be back, bit-identical.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	base2, done2 := start(ctx2, dataDir)
+	if got := jobState(base2, "j1"); got != want {
+		t.Errorf("recovered recognition state differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// The recovered job keeps streaming: complete the window on both
+	// daemons and compare the final recognition too.
+	feed(base2, "j1", 91, 125)
+	feed(baseRef, "j1", 91, 125)
+	got, wantFinal := jobState(base2, "j1"), jobState(baseRef, "j1")
+	if got != wantFinal {
+		t.Errorf("final state differs:\n got %s\nwant %s", got, wantFinal)
+	}
+	var parsed struct {
+		Top string `json:"top"`
+	}
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil || parsed.Top != "ft" {
+		t.Errorf("recovered job not recognized: %s (err %v)", got, err)
+	}
+
+	refCancel()
+	cancel2()
+	for _, ch := range []chan error{doneRef, done2} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
 // TestRunBadFlagsAndMissingDict covers the error paths of run.
 func TestRunBadFlagsAndMissingDict(t *testing.T) {
 	if err := run(context.Background(), []string{"-dict", filepath.Join(t.TempDir(), "nope.json")}, io.Discard, nil); err == nil {

@@ -351,6 +351,13 @@ func ReadExecutionCSV(r io.Reader, workers int) (*telemetry.NodeSet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ldms: read execution CSV: %w", err)
 	}
+	return parseExecutionCSV(data, workers)
+}
+
+// parseExecutionCSV is the shared body of ReadExecutionCSV and the
+// memory-mapped ReadExecutionCSVFile: it only reads data, so a
+// read-only mapping can be passed directly.
+func parseExecutionCSV(data []byte, workers int) (*telemetry.NodeSet, error) {
 	type section struct {
 		node int
 		body []byte

@@ -1,0 +1,57 @@
+package ldms
+
+// Bulk CSV → segment conversion: the "memory-map large CSV ingest"
+// follow-up. ReadExecutionCSVFile parses an execution CSV straight out
+// of a read-only memory mapping (no io.ReadAll copy of the file), and
+// StoreExecutionCSV lands the result in a tsdb segment — after which
+// the telemetry is served mmap'd, checksummed, and re-recognizable,
+// regardless of how large the original CSV was.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// ReadExecutionCSVFile parses a multi-node execution CSV (the
+// WriteExecutionCSV format) directly from a memory-mapped file. The
+// parse itself is the same byte-oriented single pass as
+// ReadExecutionCSV; mapping instead of reading skips the up-front copy
+// of the whole file, so cold ingest of multi-gigabyte CSVs is bounded
+// by the parse, not by buffering.
+func ReadExecutionCSVFile(path string, workers int) (*telemetry.NodeSet, error) {
+	m, err := tsdb.MapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ldms: map execution CSV: %w", err)
+	}
+	defer m.Close()
+	// The returned NodeSet owns freshly built columns (the parser
+	// copies fields out while converting), so closing the mapping here
+	// is safe.
+	return parseExecutionCSV(m.Data, workers)
+}
+
+// StoreExecutionCSV bulk-converts one execution CSV into a stored
+// tsdb execution: parse (parallel across node sections), then write a
+// durable columnar segment under jobID with the given label (label may
+// be empty for unlabelled history). The execution is durable — and
+// servable over mmap — when the call returns.
+func StoreExecutionCSV(st *tsdb.Store, jobID, label string, r io.Reader, workers int) error {
+	ns, err := ReadExecutionCSV(r, workers)
+	if err != nil {
+		return err
+	}
+	return st.IngestExecution(jobID, label, ns)
+}
+
+// StoreExecutionCSVFile is StoreExecutionCSV over a memory-mapped
+// file path.
+func StoreExecutionCSVFile(st *tsdb.Store, jobID, label, path string, workers int) error {
+	ns, err := ReadExecutionCSVFile(path, workers)
+	if err != nil {
+		return err
+	}
+	return st.IngestExecution(jobID, label, ns)
+}

@@ -37,6 +37,15 @@
 //	POST   /v1/jobs/{id}/label   learn a finished job {app, input}
 //	DELETE /v1/jobs/{id}         forget a job's stream
 //
+// With a durable store attached (AttachStore; cmd/efdd -data-dir),
+// ingest is write-ahead logged and jobs survive restarts, and three
+// further routes open up (501 without a store):
+//
+//	GET    /v1/jobs/{id}/series          stored telemetry of a job
+//	GET    /v1/executions                stored (finished) executions
+//	POST   /v1/executions/{id}/recognize re-recognize a stored execution
+//	                                     with the current dictionary
+//
 // Job IDs must be non-empty, at most MaxJobIDLen bytes, and must not
 // contain '/' (which would collide with the path routing above); sample
 // offsets and values must be finite. Both are rejected with 400 before
@@ -45,6 +54,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -58,6 +68,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/tsdb"
 )
 
 // NumShards is the number of independent job-table shards. Job IDs are
@@ -71,6 +82,12 @@ const MaxJobIDLen = 256
 // use; see the package comment for the locking architecture.
 type Server struct {
 	dict *core.SharedDictionary
+
+	// store, when attached (AttachStore), makes ingest durable: runs
+	// are WAL-appended on the ingest path, one group-commit fsync
+	// acknowledges each batch, and labelled jobs become stored,
+	// re-recognizable executions. nil runs the original in-memory mode.
+	store *tsdb.Store
 
 	shards   [NumShards]shard
 	jobCount atomic.Int64
@@ -118,6 +135,8 @@ type counters struct {
 	samplesAccepted atomic.Int64
 	batchesRejected atomic.Int64
 	recognitions    atomic.Int64
+	recovered       atomic.Int64
+	rerecognitions  atomic.Int64
 }
 
 // New returns a service over the dictionary. The server takes
@@ -172,6 +191,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/samples", s.handleSamples)
+	mux.HandleFunc("/v1/executions", s.handleExecutions)
+	mux.HandleFunc("/v1/executions/", s.handleExecutions)
 	return mux
 }
 
@@ -257,6 +278,10 @@ type metricsState struct {
 	SamplesAccepted int64 `json:"samples_accepted_total"`
 	BatchesRejected int64 `json:"batches_rejected_total"`
 	Recognitions    int64 `json:"recognitions_total"`
+	// Store carries the durable-store counters (WAL bytes, segments,
+	// mmap'd bytes, flush/replay/quarantine totals); absent in
+	// in-memory mode.
+	Store *storeMetrics `json:"store,omitempty"`
 }
 
 // --- handlers ---------------------------------------------------------
@@ -299,6 +324,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SamplesAccepted: s.met.samplesAccepted.Load(),
 		BatchesRejected: s.met.batchesRejected.Load(),
 		Recognitions:    s.met.recognitions.Load(),
+		Store:           s.storeSection(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -382,8 +408,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "job table full (%d)", s.MaxJobs)
 		return
 	}
-	sh.jobs[req.JobID] = &job{stream: stream, nodes: req.Nodes}
+	j := &job{stream: stream, nodes: req.Nodes}
+	sh.jobs[req.JobID] = j
 	sh.mu.Unlock()
+	if s.store != nil {
+		// Durable registration. Feeders that race ahead of it fail
+		// their store append (unknown job) and report 500 without
+		// touching the stream, so memory never runs ahead of the WAL.
+		if err := s.store.Register(req.JobID, req.Nodes); err != nil {
+			s.removeJob(req.JobID, j)
+			httpError(w, http.StatusInternalServerError, "store registration: %v", err)
+			return
+		}
+	}
 	s.met.registered.Add(1)
 	writeJSON(w, http.StatusCreated, map[string]string{"job_id": req.JobID})
 }
@@ -520,9 +557,13 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusNotFound, "unknown job %q", batches[0].JobID)
 			return
 		}
-		if n, ok := s.feedJob(j, batches[0].Samples); ok {
-			accepted += n
-		} else {
+		n, ok, err := s.feedJob(batches[0].JobID, j, batches[0].Samples)
+		accepted += n
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "store append: %v", err)
+			return
+		}
+		if !ok {
 			httpError(w, http.StatusNotFound, "unknown job %q", batches[0].JobID)
 			return
 		}
@@ -549,11 +590,27 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 			sh.mu.RUnlock()
 		}
 		for _, rw := range work {
-			if n, ok := s.feedJob(rw.j, rw.b.Samples); ok {
-				accepted += n
-			} else {
+			n, ok, err := s.feedJob(rw.b.JobID, rw.j, rw.b.Samples)
+			accepted += n
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, "store append: %v", err)
+				return
+			}
+			if !ok {
 				unknown = append(unknown, rw.b.JobID)
 			}
+		}
+	}
+	// One durable commit acknowledges the whole request — fsync
+	// batching: many runs, many jobs, one fsync. A Commit failure 500s
+	// with the streams already fed (a retry would double-feed them);
+	// ingest is at-least-once under storage errors, and an fsync
+	// failure means the durable state is suspect anyway — restart and
+	// replay the WAL rather than limp on.
+	if s.store != nil && accepted > 0 {
+		if err := s.store.Commit(); err != nil {
+			httpError(w, http.StatusInternalServerError, "store commit: %v", err)
+			return
 		}
 	}
 	s.met.samplesAccepted.Add(int64(accepted))
@@ -575,18 +632,22 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 // its mutex. It reports the number of samples fed and false when the
 // job has already been labelled or deleted. No dictionary lock is
 // taken: Feed only reads the immutable fingerprint configuration, so
-// ingest never stalls behind recognition or learning.
-func (s *Server) feedJob(j *job, samples []wireSample) (int, bool) {
+// ingest never stalls behind recognition or learning. With a store
+// attached each run is WAL-appended before it reaches the stream, so
+// the in-memory state never runs ahead of what a restart can replay;
+// the fsync happens once per request (handleSamples commits).
+func (s *Server) feedJob(id string, j *job, samples []wireSample) (int, bool, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.done {
-		return 0, false
+		return 0, false, nil
 	}
 	// LDMS forwarders emit long runs of one metric set on one node;
 	// regroup the batch into those contiguous (metric, node) runs and
 	// feed each as one columnar append, so the stream resolves metric
 	// configuration and window accumulators once per run instead of
 	// once per sample.
+	fed := 0
 	for i := 0; i < len(samples); {
 		metric, node := samples[i].Metric, samples[i].Node
 		j.colOff, j.colVal = j.colOff[:0], j.colVal[:0]
@@ -598,14 +659,34 @@ func (s *Server) feedJob(j *job, samples []wireSample) (int, bool) {
 			offset := time.Duration(math.Round(samples[i].OffsetS * float64(time.Second)))
 			j.colOff = append(j.colOff, offset)
 			j.colVal = append(j.colVal, samples[i].Value)
-			if offset > j.lastOff {
-				j.lastOff = offset
+		}
+		if s.store != nil {
+			if err := s.store.Append(id, metric, node, j.colOff, j.colVal); err != nil {
+				j.samples += int64(fed)
+				if errors.Is(err, tsdb.ErrUnknownJob) {
+					// The documented register race: the job is in the
+					// shard map but its store registration has not
+					// landed yet. It can only hit the first run (store
+					// registration is atomic and outlives the job), so
+					// nothing of this job was fed — report it like an
+					// unknown job instead of failing jobs that were
+					// already fed in this batch, whose WAL records
+					// still need the request's Commit.
+					return fed, false, nil
+				}
+				return fed, true, err
+			}
+		}
+		for _, off := range j.colOff {
+			if off > j.lastOff {
+				j.lastOff = off
 			}
 		}
 		j.stream.FeedRun(metric, node, j.colOff, j.colVal)
+		fed += len(j.colVal)
 	}
-	j.samples += int64(len(samples))
-	return len(samples), true
+	j.samples += int64(fed)
+	return fed, true, nil
 }
 
 // handleJob dispatches /v1/jobs/{id} and /v1/jobs/{id}/label. IDs
@@ -623,6 +704,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleLabel(w, r, id)
+		return
+	}
+	if id, ok := strings.CutSuffix(rest, "/series"); ok {
+		if id == "" || strings.Contains(id, "/") {
+			httpError(w, http.StatusNotFound, "no such route")
+			return
+		}
+		s.handleJobSeries(w, r, id)
 		return
 	}
 	if strings.Contains(rest, "/") {
@@ -709,6 +798,21 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string) 
 		httpError(w, http.StatusConflict, "job %q has not covered the fingerprint window yet", id)
 		return
 	}
+	// Store first, learn second: Finish mutates nothing when its WAL
+	// append fails, so a storage error leaves the job fully intact
+	// (still live, still labellable) with the dictionary untouched —
+	// whereas Learn cannot be rolled back. Running it under the job
+	// mutex and before the unlink also pins the store incarnation:
+	// feeders are blocked by j.mu, and a re-registration of the same
+	// ID cannot slip in (the ID is still in the shard map, so register
+	// answers 409) and have its fresh store entry finished by us.
+	if s.store != nil {
+		if err := s.store.Finish(id, label.String()); err != nil {
+			j.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "store finish: %v", err)
+			return
+		}
+	}
 	// Online learning: insert the completed stream's fingerprints
 	// under exclusive dictionary access.
 	s.dict.Learn(j.stream, label)
@@ -745,6 +849,18 @@ func (s *Server) handleDelete(w http.ResponseWriter, id string) {
 		j.mu.Unlock()
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
 		return
+	}
+	// Drop from the store before the unlink, under the job mutex, for
+	// the same incarnation-pinning reasons as handleLabel: a failed
+	// Drop leaves the job fully alive (no state diverged), and a
+	// concurrent re-registration cannot create a fresh store entry for
+	// this ID that our Drop would then delete.
+	if s.store != nil {
+		if err := s.store.Drop(id); err != nil {
+			j.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "store drop: %v", err)
+			return
+		}
 	}
 	j.done = true
 	j.mu.Unlock()

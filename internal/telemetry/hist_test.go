@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func histTestSeries(n int, seed int64) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSeries("m", 0, n)
+	for i := 0; i < n; i++ {
+		s.Append(time.Duration(i)*DefaultPeriod, 1000+200*rng.NormFloat64())
+	}
+	return s
+}
+
+// TestWindowPercentileMatchesScan verifies the sealed O(log bins)
+// window percentile against the same estimator run on a freshly
+// sketched window slice — the prefix matrix must introduce no error of
+// its own.
+func TestWindowPercentileMatchesScan(t *testing.T) {
+	s := histTestSeries(600, 1)
+	s.SealHist(DefaultHistBins)
+	sk, ok := s.Hist()
+	if !ok {
+		t.Fatal("Hist() not available after SealHist")
+	}
+	for _, w := range []Window{{60 * time.Second, 120 * time.Second}, {0, 600 * time.Second}, {300 * time.Second, 301 * time.Second}} {
+		for _, p := range []float64{0, 5, 25, 50, 75, 95, 100} {
+			got, err := s.WindowPercentile(w, p)
+			if err != nil {
+				t.Fatalf("WindowPercentile(%v, %g): %v", w, p, err)
+			}
+			// Reference: bin the window's values with the same edges and
+			// run the sketch estimator.
+			vals, err := s.Slice(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := HistSketch{Min: sk.Min, Max: sk.Max, Counts: make([]uint32, DefaultHistBins)}
+			for _, x := range vals {
+				ref.Counts[binOf(x, sk.Min, sk.Max, DefaultHistBins)]++
+			}
+			want, err := ref.Percentile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("window %v p%g: sealed %v, scan %v", w, p, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowPercentileApproximation bounds the estimator error by one
+// bin width against the exact percentile.
+func TestWindowPercentileApproximation(t *testing.T) {
+	s := histTestSeries(600, 2)
+	bins := 64
+	s.SealHist(bins)
+	sk, _ := s.Hist()
+	width := (sk.Max - sk.Min) / float64(bins)
+	w := Window{60 * time.Second, 120 * time.Second}
+	vals, err := s.Slice(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{5, 25, 50, 75, 95} {
+		got, err := s.WindowPercentile(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := stats.Percentile(vals, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-exact) > width {
+			t.Errorf("p%g: sealed %v vs exact %v differ by more than a bin width %v", p, got, exact, width)
+		}
+	}
+}
+
+// TestSealHistLifecycle checks the seal is dropped on mutation, errors
+// fire before sealing, and degenerate series behave.
+func TestSealHistLifecycle(t *testing.T) {
+	s := histTestSeries(200, 3)
+	if _, err := s.WindowPercentile(Window{0, 10 * time.Second}, 50); err != ErrHistNotSealed {
+		t.Errorf("unsealed WindowPercentile: got %v, want ErrHistNotSealed", err)
+	}
+	s.SealHist(0) // default bins
+	if !s.HistSealed() {
+		t.Fatal("not sealed after SealHist")
+	}
+	if _, err := s.WindowPercentile(Window{0, 10 * time.Second}, 101); err == nil {
+		t.Error("out-of-range percentile accepted")
+	}
+	if _, err := s.WindowPercentile(Window{500 * time.Second, 600 * time.Second}, 50); err != ErrShortSeries {
+		t.Errorf("beyond-end window: got %v, want ErrShortSeries", err)
+	}
+	s.Append(200*time.Second, 1.0)
+	if s.HistSealed() {
+		t.Error("seal survived Append")
+	}
+
+	// Constant series: everything lands in bin 0 and every percentile
+	// is the constant.
+	c := NewSeries("c", 0, 8)
+	for i := 0; i < 8; i++ {
+		c.Append(time.Duration(i)*DefaultPeriod, 42)
+	}
+	c.SealHist(16)
+	got, err := c.WindowPercentile(Window{0, 8 * time.Second}, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("constant series p75 = %v, want 42", got)
+	}
+
+	// Unsorted series are sorted by SealHist, like Seal.
+	u := NewSeries("u", 0, 4)
+	u.Append(3*time.Second, 4)
+	u.Append(1*time.Second, 2)
+	u.SealHist(4)
+	if !u.Sorted() {
+		t.Error("SealHist left series unsorted")
+	}
+	if _, err := u.WindowPercentile(Window{0, 4 * time.Second}, 50); err != nil {
+		t.Errorf("percentile after SealHist-sort: %v", err)
+	}
+}
+
+// TestSealHistEdgesMatch pins the property the tsdb relies on: sealing
+// a second series holding the same values with explicitly provided
+// edges answers bit-identically to the self-derived seal.
+func TestSealHistEdgesMatch(t *testing.T) {
+	a := histTestSeries(400, 4)
+	a.SealHist(DefaultHistBins)
+	sk, _ := a.Hist()
+
+	b := NewSeriesFromColumns("m", 0, nil, a.Values())
+	b.SealHistEdges(DefaultHistBins, sk.Min, sk.Max)
+	w := Window{60 * time.Second, 120 * time.Second}
+	for _, p := range []float64{0, 12.5, 50, 99, 100} {
+		va, err := a.WindowPercentile(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := b.WindowPercentile(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb {
+			t.Errorf("p%g: self-derived %v != explicit-edge %v", p, va, vb)
+		}
+	}
+	ha, _ := a.WindowHist(w)
+	hb, _ := b.WindowHist(w)
+	if ha.Min != hb.Min || ha.Max != hb.Max {
+		t.Errorf("window hist edges differ: %v vs %v", ha, hb)
+	}
+	for i := range ha.Counts {
+		if ha.Counts[i] != hb.Counts[i] {
+			t.Errorf("window hist bin %d differs: %d vs %d", i, ha.Counts[i], hb.Counts[i])
+		}
+	}
+}

@@ -93,6 +93,18 @@ type Series struct {
 	// absolute baseline of the counter.
 	mom    []stats.DD
 	center float64
+	// hist is the sealed cumulative bin-count prefix matrix built by
+	// SealHist (see hist.go): (len(vals)+1)×hbins, row i holding for
+	// every bin b the number of samples among vals[:i] with bin ≤ b.
+	// nil until SealHist; dropped by any mutation.
+	hist       []uint32
+	hbins      int
+	hmin, hmax float64
+}
+
+// dropSeals invalidates every sealed index; all mutations call it.
+func (s *Series) dropSeals() {
+	s.pre, s.mom, s.hist = nil, nil, nil
 }
 
 // NewSeries returns an empty series for the given metric and node with
@@ -145,7 +157,7 @@ func NewSeriesFromColumns(metric string, node int, offs []time.Duration, vals []
 // and flagged; windowing fails with ErrUnsortedSeries until Sort runs.
 // Appending to a sealed series drops the seal.
 func (s *Series) Append(offset time.Duration, value float64) {
-	s.pre, s.mom = nil, nil
+	s.dropSeals()
 	n := len(s.vals)
 	if s.offs == nil {
 		if offset == time.Duration(n)*DefaultPeriod {
@@ -176,7 +188,7 @@ func (s *Series) materializeOffsets() {
 // on the 1 Hz grid, the offset column is dropped again and the series
 // returns to the implicit-grid fast path. Sorting drops any seal.
 func (s *Series) Sort() {
-	s.pre, s.mom = nil, nil
+	s.dropSeals()
 	if s.offs == nil { // implicit grid is sorted by construction
 		s.unsorted = false
 		return

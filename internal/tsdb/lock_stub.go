@@ -1,0 +1,9 @@
+//go:build !unix
+
+package tsdb
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable; single-process use is
+// the operator's responsibility on such platforms.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, refusing to
+// open a store another process already owns — two writers appending
+// the same WAL would interleave frames (CRC carnage on replay) and
+// race each other's segment renames. The lock dies with the process,
+// so a crashed owner never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: data directory %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,48 @@
+//go:build !unix
+
+package tsdb
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Mapping is a read-only view of a file's bytes. This non-unix
+// fallback reads the file into memory; the backing array is allocated
+// as []uint64 so the column views cast out of it stay 8-byte aligned
+// exactly like a page-aligned mmap.
+type Mapping struct {
+	Data []byte
+}
+
+// MapFile loads path into an aligned in-memory buffer.
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	backing := make([]uint64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: buf}, nil
+}
+
+// Close releases the buffer. The Data slice must not be used after.
+func (m *Mapping) Close() error {
+	if m != nil {
+		m.Data = nil
+	}
+	return nil
+}

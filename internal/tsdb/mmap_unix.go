@@ -1,0 +1,55 @@
+//go:build unix
+
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapping is a read-only view of a file's bytes. On unix it is a real
+// memory map, so opening a multi-gigabyte segment costs no read I/O up
+// front and untouched columns never enter memory; elsewhere it
+// degrades to an 8-byte-aligned in-memory copy with the same
+// interface. Data must be treated as read-only; Close invalidates it.
+type Mapping struct {
+	Data   []byte
+	mapped bool
+}
+
+// MapFile maps path read-only. An empty file yields an empty, valid
+// mapping.
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("tsdb: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: mmap %s: %w", path, err)
+	}
+	return &Mapping{Data: data, mapped: true}, nil
+}
+
+// Close releases the mapping. The Data slice must not be used after.
+func (m *Mapping) Close() error {
+	if m == nil || !m.mapped || m.Data == nil {
+		return nil
+	}
+	data := m.Data
+	m.Data, m.mapped = nil, false
+	return syscall.Munmap(data)
+}

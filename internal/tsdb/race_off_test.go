@@ -1,0 +1,5 @@
+//go:build !race
+
+package tsdb
+
+const raceEnabled = false

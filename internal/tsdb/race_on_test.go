@@ -1,0 +1,7 @@
+//go:build race
+
+package tsdb
+
+// raceEnabled loosens allocation pins: the race detector's
+// instrumentation makes sync.Pool round-trips allocate.
+const raceEnabled = true

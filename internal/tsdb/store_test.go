@@ -1,0 +1,557 @@
+package tsdb
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// feedJob pushes n grid samples of two metrics on two nodes into a
+// registered job, in runs of 25, committing after each batch.
+func feedJob(t *testing.T, st *Store, job string, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	metrics := []string{"cpu", "mem"}
+	for base := 0; base < n; base += 25 {
+		run := 25
+		if base+run > n {
+			run = n - base
+		}
+		offs := make([]time.Duration, run)
+		vals := make([]float64, run)
+		for _, m := range metrics {
+			for node := 0; node < 2; node++ {
+				for i := 0; i < run; i++ {
+					offs[i] = time.Duration(base+i) * telemetry.DefaultPeriod
+					vals[i] = 100*float64(node+1) + 10*rng.Float64()
+				}
+				if err := st.Append(job, m, node, offs, vals); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+		}
+		if err := st.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+}
+
+// TestDirLockExcludesSecondOpen: two processes (here: two stores) on
+// one data dir would interleave WAL frames and clobber segments; the
+// flock must refuse the second open and release on Close.
+func TestDirLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		st.Close()
+		t.Fatal("second Open of a locked dir succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	st2.Close()
+}
+
+// TestWALReplayRestoresLiveJobs is the core durability property: a
+// reopened store presents exactly the committed live state.
+func TestWALReplayRestoresLiveJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("job-a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("job-b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("job-a", 2); !errors.Is(err, ErrJobExists) {
+		t.Errorf("duplicate Register: got %v, want ErrJobExists", err)
+	}
+	feedJob(t, st, "job-a", 130, 1)
+	feedJob(t, st, "job-b", 70, 2)
+	if err := st.Drop("job-b"); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Live()
+	if len(want) != 1 || want[0].ID != "job-a" {
+		t.Fatalf("live before close: %+v", want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Live()
+	if len(got) != 1 {
+		t.Fatalf("recovered %d live jobs, want 1", len(got))
+	}
+	a, b := want[0], got[0]
+	if a.ID != b.ID || a.Nodes != b.Nodes || a.Samples != b.Samples || a.LastOffset != b.LastOffset {
+		t.Fatalf("recovered job header %+v, want %+v", b, a)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("recovered %d series, want %d", len(b.Series), len(a.Series))
+	}
+	for i := range a.Series {
+		sa, sb := a.Series[i], b.Series[i]
+		if sa.Metric != sb.Metric || sa.Node != sb.Node || len(sa.Values) != len(sb.Values) {
+			t.Fatalf("series %d header mismatch: %v vs %v", i, sa.Metric, sb.Metric)
+		}
+		for k := range sa.Values {
+			if sa.Values[k] != sb.Values[k] || sa.Offsets[k] != sb.Offsets[k] {
+				t.Fatalf("series %s[%d] sample %d differs", sa.Metric, sa.Node, k)
+			}
+		}
+	}
+	if r := st2.Stats().ReplayedRecords; r == 0 {
+		t.Error("ReplayedRecords = 0 after a non-empty replay")
+	}
+}
+
+// TestFlushAndStoredQueriesMatchMemory finishes a job, flushes it into
+// a segment, and pins the acceptance property: sealed window queries
+// (mean, stats, histogram percentiles) over the memory-mapped columns
+// are bit-identical to the in-memory series.
+func TestFlushAndStoredQueriesMatchMemory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Register("job-x", 2); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "job-x", 200, 7)
+
+	// Reference: the in-memory state, copied out before finishing.
+	ref, live, err := st.Series("job-x")
+	if err != nil || !live {
+		t.Fatalf("live series: %v (live=%v)", err, live)
+	}
+	ref.Seal()
+
+	if err := st.Finish("job-x", "lammps_X"); err != nil {
+		t.Fatal(err)
+	}
+	// Pending (pre-flush) executions are already queryable.
+	execs := st.Executions()
+	if len(execs) != 1 || execs[0].Stored {
+		t.Fatalf("pending executions: %+v", execs)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	execs = st.Executions()
+	if len(execs) != 1 || !execs[0].Stored || execs[0].Label != "lammps_X" {
+		t.Fatalf("stored executions: %+v", execs)
+	}
+	if got := st.Stats().Segments; got != 1 {
+		t.Fatalf("segments = %d, want 1", got)
+	}
+
+	stored, err := st.ExecutionSeries("job-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := telemetry.Window{Start: 60 * time.Second, End: 120 * time.Second}
+	for _, node := range []int{0, 1} {
+		for _, m := range []string{"cpu", "mem"} {
+			rs, ss := ref.Get(node, m), stored.Get(node, m)
+			if rs == nil || ss == nil {
+				t.Fatalf("missing series %s[%d]", m, node)
+			}
+			rm, err1 := rs.WindowMean(w)
+			sm, err2 := ss.WindowMean(w)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("WindowMean: %v / %v", err1, err2)
+			}
+			if rm != sm {
+				t.Errorf("%s[%d] stored mean %v != in-memory %v", m, node, sm, rm)
+			}
+			rst, _ := rs.WindowStats(w)
+			sst, _ := ss.WindowStats(w)
+			if rst != sst {
+				t.Errorf("%s[%d] stored stats %+v != in-memory %+v", m, node, sst, rst)
+			}
+
+			// Histogram percentiles: re-seal the mapped series with the
+			// footer's stored edges; in-memory side derives its own. The
+			// values are bit-identical, so both must answer identically.
+			sk, ok := st.ExecutionHist("job-x", m, node)
+			if !ok {
+				t.Fatalf("no stored hist for %s[%d]", m, node)
+			}
+			ss.SealHistEdges(len(sk.Counts), sk.Min, sk.Max)
+			rs.SealHist(len(sk.Counts))
+			for _, p := range []float64{5, 50, 95} {
+				rp, err1 := rs.WindowPercentile(w, p)
+				sp, err2 := ss.WindowPercentile(w, p)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("WindowPercentile: %v / %v", err1, err2)
+				}
+				if rp != sp {
+					t.Errorf("%s[%d] p%g stored %v != in-memory %v", m, node, p, sp, rp)
+				}
+			}
+		}
+	}
+
+	// The stored execution survives reopen and the WAL was compacted
+	// down to nothing (no live jobs remain).
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := len(st2.Executions()); got != 1 {
+		t.Fatalf("executions after reopen: %d, want 1", got)
+	}
+	ns, err := st2.ExecutionSeries("job-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := ns.Get(0, "cpu").WindowMean(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, _ := ref.Get(0, "cpu").WindowMean(w)
+	if sm != rm {
+		t.Errorf("reopened stored mean %v != in-memory %v", sm, rm)
+	}
+	if wb := st2.Stats().WALBytes; wb != 0 {
+		t.Errorf("WAL not compacted after flush: %d bytes", wb)
+	}
+}
+
+// TestOffGridOffsetsRoundTrip covers the explicit-offset column path:
+// irregular and out-of-order offsets survive WAL replay and segment
+// round-trips, sorted at flush.
+func TestOffGridOffsetsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Register("irr", 1); err != nil {
+		t.Fatal(err)
+	}
+	offs := []time.Duration{1500 * time.Millisecond, 500 * time.Millisecond, 2500 * time.Millisecond}
+	vals := []float64{2, 1, 3}
+	if err := st.Append("irr", "cpu", 0, offs, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Finish("irr", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ns, err := st.ExecutionSeries("irr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ns.Get(0, "cpu")
+	if s == nil || s.Len() != 3 {
+		t.Fatalf("stored series: %+v", s)
+	}
+	wantOffs := []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond, 2500 * time.Millisecond}
+	wantVals := []float64{1, 2, 3}
+	for i := range wantOffs {
+		if s.OffsetAt(i) != wantOffs[i] || s.ValueAt(i) != wantVals[i] {
+			t.Errorf("sample %d = (%v, %v), want (%v, %v)", i, s.OffsetAt(i), s.ValueAt(i), wantOffs[i], wantVals[i])
+		}
+	}
+}
+
+// TestIngestExecutionAndReuseOfIDs covers the bulk segment path and ID
+// reuse: the same job ID stored twice resolves to the latest sequence.
+func TestIngestExecutionAndReuseOfIDs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	build := func(level float64) *telemetry.NodeSet {
+		ns := telemetry.NewNodeSet()
+		s := telemetry.NewSeries("cpu", 0, 10)
+		for i := 0; i < 10; i++ {
+			s.Append(time.Duration(i)*telemetry.DefaultPeriod, level)
+		}
+		ns.Put(s)
+		return ns
+	}
+	if err := st.IngestExecution("dup", "first", build(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.IngestExecution("dup", "second", build(2)); err != nil {
+		t.Fatal(err)
+	}
+	execs := st.Executions()
+	if len(execs) != 2 {
+		t.Fatalf("executions: %+v", execs)
+	}
+	ns, err := st.ExecutionSeries("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ns.Get(0, "cpu").ValueAt(0); v != 2 {
+		t.Errorf("ID reuse resolved value %v, want the latest (2)", v)
+	}
+	if _, err := st.ExecutionSeries("absent"); !errors.Is(err, ErrUnknownExecution) {
+		t.Errorf("absent execution: got %v, want ErrUnknownExecution", err)
+	}
+}
+
+// TestCompactionOrdersReusedIDs pins the compaction record order: a
+// finished (pending) execution whose ID was re-registered as a new
+// live job must compact pending-first, so replay neither clobbers the
+// live incarnation's samples nor deletes it at the finish record.
+func TestCompactionOrdersReusedIDs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("reuse", 2); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "reuse", 50, 21)
+	if err := st.Finish("reuse", "old"); err != nil {
+		t.Fatal(err)
+	}
+	// Same ID comes back as a new live job with different telemetry.
+	if err := st.Register("reuse", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("reuse", "cpu", 0, []time.Duration{0, telemetry.DefaultPeriod}, []float64{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Force a compaction while both incarnations are in the memtable:
+	// flush another finished job so the WAL is rewritten. The pending
+	// "reuse" execution flushes too; the live one must survive intact.
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	live := st2.Live()
+	if len(live) != 1 || live[0].ID != "reuse" || live[0].Samples != 2 {
+		t.Fatalf("live incarnation after compaction+replay: %+v", live)
+	}
+	if live[0].Series[0].Values[0] != 7 {
+		t.Errorf("live incarnation telemetry clobbered: %+v", live[0].Series)
+	}
+	execs := st2.Executions()
+	if len(execs) != 1 || execs[0].Label != "old" || execs[0].Samples != 200 {
+		t.Fatalf("finished incarnation: %+v", execs)
+	}
+}
+
+// TestCompactionOrdersReusedIDsPreFlush covers the same reuse with the
+// pending execution still unflushed at close: the compacted WAL holds
+// both incarnations and must replay them in finish order.
+func TestCompactionOrdersReusedIDsPreFlush(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("other", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("other", "m", 0, []time.Duration{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Finish("other", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("reuse", 2); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "reuse", 50, 22)
+	if err := st.Finish("reuse", "old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("reuse", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("reuse", "cpu", 0, []time.Duration{0}, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	// Flush "other" only? Flush takes every pending job, so instead
+	// exercise the compaction path by flushing everything pending and
+	// replaying: the "reuse" execution lands in the segment, the live
+	// "reuse" must still replay from the compacted WAL.
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Append post-compaction to prove the live job keeps accepting.
+	if err := st.Append("reuse", "cpu", 0, []time.Duration{telemetry.DefaultPeriod}, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	live := st2.Live()
+	if len(live) != 1 || live[0].ID != "reuse" || live[0].Samples != 2 {
+		t.Fatalf("live reuse incarnation: %+v", live)
+	}
+	if got := len(st2.Executions()); got != 2 {
+		t.Fatalf("executions: %d, want 2", got)
+	}
+}
+
+// TestCompactionChunksLongSeries forces the compactor's run-record
+// chunking and verifies a multi-record series replays to the exact
+// same columns — the guard against a single giant frame tripping the
+// replayer's size bound.
+func TestCompactionChunksLongSeries(t *testing.T) {
+	old := walRunChunk
+	walRunChunk = 16
+	defer func() { walRunChunk = old }()
+
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("long", 2); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "long", 100, 23) // 100 samples per series >> chunk of 16
+	if err := st.Register("done", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("done", "m", 0, []time.Duration{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Finish("done", ""); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Live()
+	if err := st.Flush(); err != nil { // compacts "long" in 7 records/series
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := st2.Live()
+	if len(got) != 1 {
+		t.Fatalf("live after chunked compaction: %d jobs", len(got))
+	}
+	sameLiveJob(t, got[0], want[0])
+}
+
+// TestAutoFlushThreshold checks Finish kicks a background flush once
+// pending bytes cross the configured threshold.
+func TestAutoFlushThreshold(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenOptions(dir, Options{FlushBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Register("big", 2); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "big", 100, 3) // 400 samples ≈ 6.4 KiB estimate, over threshold
+	if err := st.Finish("big", ""); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Segments == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flush never produced a segment")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWALCompactionPreservesPending ensures a flush that leaves other
+// live jobs running rewrites them — and only them — into the compacted
+// WAL.
+func TestWALCompactionPreservesPending(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("done", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Register("running", 2); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "done", 50, 4)
+	feedJob(t, st, "running", 80, 5)
+	if err := st.Finish("done", "lbl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantLive := st.Live()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	gotLive := st2.Live()
+	if len(gotLive) != 1 || gotLive[0].ID != "running" || gotLive[0].Samples != wantLive[0].Samples {
+		t.Fatalf("recovered live jobs %+v, want %+v", gotLive, wantLive)
+	}
+	if got := len(st2.Executions()); got != 1 {
+		t.Fatalf("executions after reopen: %d, want 1", got)
+	}
+	// No torn tail, no quarantine.
+	if _, err := os.Stat(filepath.Join(dir, walQuarantine)); !os.IsNotExist(err) {
+		t.Errorf("unexpected quarantine file (err=%v)", err)
+	}
+}

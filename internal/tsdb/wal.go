@@ -1,0 +1,361 @@
+package tsdb
+
+// The write-ahead log. Every mutation the store acknowledges is first
+// appended here as one CRC-framed record:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// The payload starts with a one-byte record type. Sample runs store
+// their offsets as zigzag-varint deltas (1 Hz grids cost two bytes per
+// sample of offset) and their values as raw little-endian float64
+// bits, so replay reconstructs columns bit-exactly.
+//
+// Appends go through one buffered writer guarded by the store mutex;
+// Commit flushes and fsyncs once per acknowledged batch, and a
+// generation counter turns back-to-back Commits with no intervening
+// append into no-ops (group commit). Replay walks frames until the
+// first torn or corrupt one, quarantines everything from it onward
+// into wal.quarantine, and truncates the log back to the last good
+// frame — the tail beyond the last fsync is exactly what crash
+// recovery is allowed to lose, and it is never silently skipped over.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+const (
+	walName        = "wal.log"
+	walQuarantine  = "wal.quarantine"
+	walMaxRecord   = 1 << 28 // frame sanity bound: no record exceeds 256 MiB
+	frameHeaderLen = 8
+)
+
+// Record types.
+const (
+	recRegister = byte(1) // job registered: job, nodes
+	recRun      = byte(2) // sample run: job, metric, node, offsets, values
+	recFinish   = byte(3) // job finished (labelled): job, seq, label
+	recDrop     = byte(4) // job deleted outright: job
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is the appender half; replay is a free function over raw bytes.
+type wal struct {
+	f    *os.File
+	bw   *bufio.Writer
+	size int64 // logical file size including buffered bytes
+
+	appendGen uint64
+	syncGen   uint64
+
+	scratch []byte // reused payload encode buffer
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, bw: bufio.NewWriterSize(f, 1<<16), size: st.Size()}, nil
+}
+
+// append frames and buffers one payload. The payload is w.scratch.
+func (w *wal) append() error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(w.scratch)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(w.scratch, castagnoli))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return err
+	}
+	w.size += int64(frameHeaderLen + len(w.scratch))
+	w.appendGen++
+	return nil
+}
+
+// sync flushes the buffer and fsyncs, unless nothing was appended
+// since the last sync (group commit).
+func (w *wal) sync() error {
+	if w.syncGen == w.appendGen {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncGen = w.appendGen
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// --- record encoding --------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func (w *wal) encodeRegister(job string, nodes int) {
+	b := append(w.scratch[:0], recRegister)
+	b = appendString(b, job)
+	w.scratch = appendUvarint(b, uint64(nodes))
+}
+
+// appendRunPayload encodes one run record's payload into b. It is a
+// free function over plain buffers so the ingest path can encode
+// outside the store mutex. Offset deltas restart from zero per record,
+// so a long run split across several records decodes identically.
+func appendRunPayload(b []byte, job, metric string, node int, offs []time.Duration, vals []float64) []byte {
+	b = append(b, recRun)
+	b = appendString(b, job)
+	b = appendString(b, metric)
+	b = appendUvarint(b, uint64(node))
+	b = appendUvarint(b, uint64(len(vals)))
+	prev := int64(0)
+	for _, off := range offs {
+		b = appendUvarint(b, zigzag(int64(off)-prev))
+		prev = int64(off)
+	}
+	for _, v := range vals {
+		var raw [8]byte
+		binary.LittleEndian.PutUint64(raw[:], math.Float64bits(v))
+		b = append(b, raw[:]...)
+	}
+	return b
+}
+
+// appendFramed appends the CRC frame plus payload to dst.
+func appendFramed(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func (w *wal) encodeRun(job, metric string, node int, offs []time.Duration, vals []float64) {
+	w.scratch = appendRunPayload(w.scratch[:0], job, metric, node, offs, vals)
+}
+
+func (w *wal) encodeFinish(job string, seq uint64, label string) {
+	b := append(w.scratch[:0], recFinish)
+	b = appendString(b, job)
+	b = appendUvarint(b, seq)
+	w.scratch = appendString(b, label)
+}
+
+func (w *wal) encodeDrop(job string) {
+	b := append(w.scratch[:0], recDrop)
+	w.scratch = appendString(b, job)
+}
+
+// --- record decoding --------------------------------------------------
+
+// walRecord is one decoded record; only the fields of its Type are set.
+type walRecord struct {
+	Type   byte
+	Job    string
+	Metric string
+	Node   int
+	Offs   []time.Duration
+	Vals   []float64
+	Nodes  int
+	Seq    uint64
+	Label  string
+}
+
+type walDecoder struct{ b []byte }
+
+func (d *walDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("tsdb: bad varint in WAL record")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *walDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)) {
+		return "", fmt.Errorf("tsdb: truncated string in WAL record")
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+// decodeRecord parses one framed payload. The returned record's
+// columns are freshly allocated (they outlive the frame buffer).
+func decodeRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, fmt.Errorf("tsdb: empty WAL record")
+	}
+	rec := walRecord{Type: payload[0]}
+	d := walDecoder{b: payload[1:]}
+	var err error
+	if rec.Job, err = d.str(); err != nil {
+		return rec, err
+	}
+	switch rec.Type {
+	case recRegister:
+		n, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if n == 0 || n > 1<<20 {
+			return rec, fmt.Errorf("tsdb: implausible node count %d", n)
+		}
+		rec.Nodes = int(n)
+	case recRun:
+		if rec.Metric, err = d.str(); err != nil {
+			return rec, err
+		}
+		node, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if node > 1<<20 {
+			return rec, fmt.Errorf("tsdb: implausible node %d", node)
+		}
+		rec.Node = int(node)
+		count, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		// Every sample costs at least one offset byte and eight value
+		// bytes, so count is bounded by a ninth of the remaining
+		// payload — checked before the column allocations so a
+		// crafted length cannot balloon replay's memory.
+		if count > uint64(len(d.b))/9 {
+			return rec, fmt.Errorf("tsdb: implausible run length %d", count)
+		}
+		n := int(count)
+		rec.Offs = make([]time.Duration, n)
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			dv, err := d.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			prev += unzigzag(dv)
+			rec.Offs[i] = time.Duration(prev)
+		}
+		if len(d.b) < 8*n {
+			return rec, fmt.Errorf("tsdb: truncated value column")
+		}
+		rec.Vals = make([]float64, n)
+		for i := 0; i < n; i++ {
+			rec.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:]))
+		}
+		d.b = d.b[8*n:]
+	case recFinish:
+		if rec.Seq, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		if rec.Label, err = d.str(); err != nil {
+			return rec, err
+		}
+	case recDrop:
+		// job only
+	default:
+		return rec, fmt.Errorf("tsdb: unknown WAL record type %d", rec.Type)
+	}
+	if len(d.b) != 0 {
+		return rec, fmt.Errorf("tsdb: %d trailing bytes in WAL record", len(d.b))
+	}
+	return rec, nil
+}
+
+// replayWAL walks the log, invoking apply for every intact record, and
+// returns the byte length of the good prefix plus the number of
+// replayed records. Decoding stops at the first torn or corrupt frame;
+// the caller quarantines and truncates from there.
+func replayWAL(data []byte, apply func(walRecord)) (good int64, records int64, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			return int64(off), records, fmt.Errorf("tsdb: torn frame header at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > walMaxRecord || len(data)-off-frameHeaderLen < n {
+			return int64(off), records, fmt.Errorf("tsdb: torn record at %d (%d bytes framed)", off, n)
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return int64(off), records, fmt.Errorf("tsdb: CRC mismatch at %d", off)
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// A frame that passes CRC but does not decode is corruption
+			// beyond a torn tail; quarantine from here too.
+			return int64(off), records, derr
+		}
+		apply(rec)
+		records++
+		off += frameHeaderLen + n
+	}
+	return int64(off), records, nil
+}
+
+// quarantineTail moves data[good:] into dir/wal.quarantine (appending
+// a fresh section each time) and truncates the WAL file to good.
+func quarantineTail(dir, walPath string, data []byte, good int64) (int64, error) {
+	tail := data[good:]
+	qf, err := os.OpenFile(filepath.Join(dir, walQuarantine), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := qf.Write(tail); err != nil {
+		qf.Close()
+		return 0, err
+	}
+	if err := qf.Sync(); err != nil {
+		qf.Close()
+		return 0, err
+	}
+	if err := qf.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Truncate(walPath, good); err != nil {
+		return 0, err
+	}
+	return int64(len(tail)), nil
+}

@@ -6,8 +6,11 @@
 # which is the input format benchstat consumes (see `make
 # bench-compare`). The suite includes the PR 3 data-plane benchmarks
 # (BenchmarkPipelineEndToEnd, BenchmarkWindowMean{Wide,Narrow},
-# BenchmarkLDMSIngest{,StdCSV}, BenchmarkSeriesSort) since -bench=.
-# matches them like every other root benchmark.
+# BenchmarkLDMSIngest{,StdCSV}, BenchmarkSeriesSort) and the PR 4
+# durable-store benchmarks (BenchmarkTSDBWALAppend, BenchmarkTSDBCommit
+# — the only one timing real fsyncs — BenchmarkTSDBSegmentFlush,
+# BenchmarkTSDBMmapRead) since -bench=. matches them like every other
+# root benchmark.
 #
 # Usage: scripts/bench.sh [out.json]
 set -eu
