@@ -1,12 +1,15 @@
 # Build / verification entry points.
 #
-#   make check     - tier-1 gate: build everything, vet, run all tests
-#                    under the race detector (the server is concurrent;
-#                    plain `go test` would miss data races). Run
-#                    `make fuzz-short` alongside before merging storage
-#                    or codec changes — it exercises the on-disk
-#                    decoders the race tests cannot reach with
-#                    adversarial bytes.
+#   make check     - tier-1 gate: build everything, vet, gofmt -l, run
+#                    all tests under the race detector (the server is
+#                    concurrent; plain `go test` would miss data
+#                    races). Run `make fuzz-short` alongside before
+#                    merging storage or codec changes — it exercises
+#                    the on-disk decoders the race tests cannot reach
+#                    with adversarial bytes.
+#   make fmt-check - fail if any file needs gofmt (the new public
+#                    packages efd/monitor and efd/client are API
+#                    surface; formatting drift is a review smell)
 #   make test      - build + tests only (the original tier-1 command)
 #   make test-race - build + tests under -race
 #   make fuzz-short - bounded fuzz pass (FUZZTIME per target, default
@@ -26,9 +29,14 @@ GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 FUZZTIME ?= 10s
 
-.PHONY: check test test-race vet bench bench-compare fuzz-short
+.PHONY: check test test-race vet fmt-check bench bench-compare fuzz-short
 
-check: test-race vet
+check: test-race vet fmt-check
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) build ./... && $(GO) test ./...

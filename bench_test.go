@@ -15,6 +15,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,6 +26,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/efd/client"
+	"repro/efd/monitor"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -901,3 +904,69 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		}
 	}
 }
+
+// --- client SDK: end-to-end ingest encodings ------------------------
+
+// benchClientRuns builds one ingest batch in columnar form: 2 nodes ×
+// 64 in-window samples of the headline metric. The benchmark posts
+// the same batch every iteration, re-feeding one warm window — the
+// steady-state encode/transfer/decode/feed cost, deliberately without
+// stream growth (iter only differentiates the warm-up batch).
+func benchClientRuns(iter int) []monitor.RunBatch {
+	const perRun = 64
+	runs := make([]monitor.Run, 2)
+	for node := 0; node < 2; node++ {
+		offs := make([]time.Duration, perRun)
+		vals := make([]float64, perRun)
+		for k := 0; k < perRun; k++ {
+			offs[k] = time.Duration(60+(iter*perRun+k)%60) * time.Second
+			vals[k] = 2000 + float64(k)
+		}
+		runs[node] = monitor.Run{Metric: apps.HeadlineMetric, Node: node, Offsets: offs, Values: vals}
+	}
+	return []monitor.RunBatch{{JobID: "bench-client", Runs: runs}}
+}
+
+// runClientIngest drives the typed client against a live HTTP server
+// end to end — connection, encoding, server decode, columnar feed —
+// and reports total allocations across client and server. The mode
+// selects the wire encoding; BenchmarkClientIngestBinary must stay at
+// least 2x below BenchmarkClientIngestJSON in allocs/op (pinned by
+// TestClientIngestAllocRatio in efd/client).
+func runClientIngest(b *testing.B, mode client.BinaryMode) {
+	srv := server.New(benchServerDictionary(b))
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	c := client.New(ts.URL, client.WithBinaryIngest(mode))
+	ctx := context.Background()
+	if err := c.Register(ctx, "bench-client", 2); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the path (arena sizing, connection reuse) before measuring.
+	if _, err := c.IngestRuns(ctx, benchClientRuns(0)); err != nil {
+		b.Fatal(err)
+	}
+	batches := benchClientRuns(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.IngestRuns(ctx, batches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Accepted != 128 {
+			b.Fatalf("accepted %d", res.Accepted)
+		}
+	}
+	b.SetBytes(128 * 16)
+}
+
+// BenchmarkClientIngestJSON is the row-form JSON ingest path: runs
+// are converted to {metric,node,offset_s,value} objects client-side
+// and re-grouped into columnar runs server-side.
+func BenchmarkClientIngestJSON(b *testing.B) { runClientIngest(b, client.BinaryNever) }
+
+// BenchmarkClientIngestBinary is the binary columnar path
+// (application/x-efd-runs): wire-framed columns end to end, decoded
+// into pooled scratch, no per-sample parsing anywhere.
+func BenchmarkClientIngestBinary(b *testing.B) { runClientIngest(b, client.BinaryAlways) }

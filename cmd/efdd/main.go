@@ -1,5 +1,8 @@
 // Command efdd serves a trained Execution Fingerprint Dictionary as an
-// HTTP monitoring service (see internal/server for the API).
+// HTTP monitoring service: a thin adapter (internal/server) over the
+// embeddable efd/monitor engine. API.md documents the v1 wire
+// protocol; the typed efd/client SDK covers the full surface,
+// including the binary columnar ingest encoding.
 //
 //	efdd -dict dict.json -addr :8080 -save dict.json -data-dir /var/lib/efdd
 //
@@ -34,9 +37,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/efd/monitor"
 	"repro/internal/core"
 	"repro/internal/server"
-	"repro/internal/tsdb"
 )
 
 func main() {
@@ -81,21 +84,19 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 	fmt.Fprintf(out, "efdd: dictionary %s — %d keys, %d labels, depth %d\n",
 		*dictPath, st.Keys, st.Labels, st.Depth)
 
-	srv := server.New(dict)
-	srv.MaxJobs = *maxJobs
+	// The server is a thin HTTP adapter over the public monitoring
+	// engine; everything the daemon does is available in-process via
+	// efd/monitor.
+	eng := monitor.New(dict)
+	eng.MaxJobs = *maxJobs
+	srv := server.NewEngine(eng)
 
-	var store *tsdb.Store
 	if *dataDir != "" {
-		store, err = tsdb.Open(*dataDir)
+		recovered, err := eng.OpenStore(*dataDir, monitor.StoreOptions{})
 		if err != nil {
 			return fmt.Errorf("open telemetry store: %w", err)
 		}
-		recovered, err := srv.AttachStore(store)
-		if err != nil {
-			store.Close()
-			return fmt.Errorf("recover jobs from store: %w", err)
-		}
-		st := store.Stats()
+		st := eng.Stats().Store
 		fmt.Fprintf(out, "efdd: telemetry store %s — %d jobs recovered, %d stored executions, %d segments\n",
 			*dataDir, recovered, st.Executions, st.Segments)
 		if st.QuarantinedWALBytes > 0 || st.QuarantinedSegments > 0 {
@@ -109,9 +110,7 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		if store != nil {
-			store.Close()
-		}
+		eng.CloseStore()
 		return err
 	}
 	fmt.Fprintf(out, "efdd: listening on %s\n", ln.Addr())
@@ -150,11 +149,11 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 			<-serveErr // Serve has returned http.ErrServerClosed
 		}
 	}
-	if store != nil {
+	if eng.HasStore() {
 		// Graceful-shutdown flush: pending finished executions land in
 		// an immutable segment and the WAL is synced, so the next
 		// start replays only still-running jobs.
-		if err := store.Close(); err != nil {
+		if err := eng.CloseStore(); err != nil {
 			exitErr = errors.Join(exitErr, fmt.Errorf("close telemetry store: %w", err))
 		} else {
 			fmt.Fprintf(out, "efdd: telemetry store flushed\n")

@@ -1,0 +1,432 @@
+// Package client is the typed Go SDK for the EFD monitoring service's
+// v1 HTTP API (internal/server over efd/monitor; see API.md for the
+// wire protocol).
+//
+// A Client covers the full surface — job lifecycle, single- and
+// multi-job ingest, recognition queries, online labelling, and the
+// storage endpoints — with connection reuse (one shared
+// http.Transport), context support on every call, and automatic
+// retry-with-backoff on transient failures of idempotent (read-only)
+// endpoints.
+//
+// # Ingest
+//
+// Ingest/IngestBatches speak the JSON wire form. IngestRuns speaks
+// the binary columnar encoding (application/x-efd-runs): columns are
+// framed with the shared EFD wire codec, cost a few bytes per sample
+// instead of a JSON object, and round-trip float64 values bit-exactly.
+// Binary support is negotiated transparently: the first IngestRuns
+// call tries the binary encoding and, if the server rejects the media
+// type (an older deployment), falls back to JSON for the rest of the
+// client's lifetime — callers never see the difference.
+//
+// For high-rate feeders, a BatchWriter buffers samples per job and
+// flushes them as multi-job batches by size and by interval, with a
+// bounded number of in-flight requests.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/efd/monitor"
+	"repro/internal/wire"
+)
+
+// ContentTypeRuns is the media type of the binary columnar ingest
+// encoding (defined with the codec in internal/wire).
+const ContentTypeRuns = wire.ContentTypeRuns
+
+// BinaryMode selects the wire encoding of IngestRuns.
+type BinaryMode int
+
+const (
+	// BinaryAuto (the default) tries the binary encoding and falls
+	// back to JSON permanently if the server rejects it.
+	BinaryAuto BinaryMode = iota
+	// BinaryNever always sends JSON.
+	BinaryNever
+	// BinaryAlways sends binary and surfaces the server's rejection
+	// instead of falling back.
+	BinaryAlways
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying http.Client (timeouts,
+// custom transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry sets the retry policy for idempotent endpoints: up to max
+// retries after the first attempt, sleeping base, 2*base, 4*base, …
+// between attempts. WithRetry(0, 0) disables retries.
+func WithRetry(max int, base time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.backoffBase = max, base }
+}
+
+// WithBinaryIngest selects the IngestRuns wire encoding.
+func WithBinaryIngest(mode BinaryMode) Option { return func(c *Client) { c.binary = mode } }
+
+// Client is a typed client of one EFD monitoring server. It is safe
+// for concurrent use; all calls share one connection pool.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	backoffBase time.Duration
+	binary      BinaryMode
+
+	// binaryOK memoizes the negotiation outcome in BinaryAuto mode:
+	// 0 untried, 1 supported, -1 rejected (JSON from now on).
+	binaryOK atomic.Int32
+
+	encPool sync.Pool // *encBuf, reused binary encode buffers
+}
+
+type encBuf struct{ payload, frames []byte }
+
+// New returns a client for the server at baseURL (e.g.
+// "http://cluster-mon:8080"). The default policy retries idempotent
+// requests twice with 100 ms initial backoff.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimSuffix(baseURL, "/"),
+		hc:          &http.Client{},
+		maxRetries:  2,
+		backoffBase: 100 * time.Millisecond,
+	}
+	c.encPool.New = func() any { return new(encBuf) }
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response, carrying the envelope's
+// machine-readable code. Legacy servers without the envelope yield
+// Code "" with the raw message.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("efd: HTTP %d: %s", e.StatusCode, e.Message)
+	}
+	return fmt.Sprintf("efd: %s (HTTP %d): %s", e.Code, e.StatusCode, e.Message)
+}
+
+// decodeAPIError parses the v1 error envelope, tolerating the legacy
+// flat {"error":"message"} form and non-JSON bodies.
+func decodeAPIError(status int, body []byte) *APIError {
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	out := &APIError{StatusCode: status, Message: strings.TrimSpace(string(body))}
+	if json.Unmarshal(body, &env) != nil || env.Error == nil {
+		return out
+	}
+	var detail struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	if json.Unmarshal(env.Error, &detail) == nil && (detail.Code != "" || detail.Message != "") {
+		out.Code, out.Message = detail.Code, detail.Message
+		return out
+	}
+	var flat string
+	if json.Unmarshal(env.Error, &flat) == nil {
+		out.Message = flat
+	}
+	return out
+}
+
+// retryable reports whether a response status is worth retrying on an
+// idempotent endpoint: transient server-side failures only.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one request with optional retries. body is re-sent from
+// the byte slice on every attempt; idempotent requests retry on
+// connection errors and 5xx, non-idempotent ones never retry (a
+// duplicated POST /v1/samples would double-feed streams).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent {
+		attempts += c.maxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := c.backoffBase << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // connection-level failure: retryable if idempotent
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(raw, out)
+		}
+		apiErr := decodeAPIError(resp.StatusCode, raw)
+		if !retryable(resp.StatusCode) {
+			return apiErr
+		}
+		lastErr = apiErr
+	}
+	return lastErr
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, "", nil, out, true)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, "application/json", body, out, false)
+}
+
+// --- the v1 surface ---------------------------------------------------
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.getJSON(ctx, "/healthz", nil)
+}
+
+// Dictionary fetches the dictionary statistics.
+func (c *Client) Dictionary(ctx context.Context) (monitor.DictionaryInfo, error) {
+	var out monitor.DictionaryInfo
+	err := c.getJSON(ctx, "/v1/dictionary", &out)
+	return out, err
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (monitor.Stats, error) {
+	var out monitor.Stats
+	err := c.getJSON(ctx, "/v1/metrics", &out)
+	return out, err
+}
+
+// Register starts tracking a job on the given number of nodes.
+func (c *Client) Register(ctx context.Context, jobID string, nodes int) error {
+	in := struct {
+		JobID string `json:"job_id"`
+		Nodes int    `json:"nodes"`
+	}{jobID, nodes}
+	return c.postJSON(ctx, "/v1/jobs", in, nil)
+}
+
+// Jobs lists live jobs, ID-sorted, paginated.
+func (c *Client) Jobs(ctx context.Context, offset, limit int) (monitor.Listing, error) {
+	var out monitor.Listing
+	err := c.getJSON(ctx, "/v1/jobs?offset="+strconv.Itoa(offset)+"&limit="+strconv.Itoa(limit), &out)
+	return out, err
+}
+
+// Result fetches a job's current recognition state.
+func (c *Client) Result(ctx context.Context, jobID string) (monitor.State, error) {
+	var out monitor.State
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID), &out)
+	return out, err
+}
+
+// IngestResult is the outcome of a multi-job ingest: the number of
+// samples fed and the jobs the server did not know (their samples
+// were skipped, the rest were fed).
+type IngestResult struct {
+	Accepted int      `json:"accepted"`
+	Unknown  []string `json:"unknown"`
+}
+
+// Ingest feeds one job's samples (the single-job wire form).
+func (c *Client) Ingest(ctx context.Context, jobID string, samples []monitor.Sample) (int, error) {
+	var out IngestResult
+	err := c.postJSON(ctx, "/v1/samples", monitor.Batch{JobID: jobID, Samples: samples}, &out)
+	return out.Accepted, err
+}
+
+// IngestBatches feeds samples for several jobs in one request (one
+// shard lock and one durable fsync server-side).
+func (c *Client) IngestBatches(ctx context.Context, batches []monitor.Batch) (IngestResult, error) {
+	in := struct {
+		Batches []monitor.Batch `json:"batches"`
+	}{batches}
+	var out IngestResult
+	err := c.postJSON(ctx, "/v1/samples", in, &out)
+	return out, err
+}
+
+// IngestRuns feeds columnar runs — the cheapest ingest form. With
+// BinaryAuto (default) the binary encoding is negotiated on first
+// use; see the package comment.
+func (c *Client) IngestRuns(ctx context.Context, batches []monitor.RunBatch) (IngestResult, error) {
+	mode := c.binary
+	if mode == BinaryAuto && c.binaryOK.Load() < 0 {
+		mode = BinaryNever
+	}
+	if mode == BinaryNever {
+		return c.IngestBatches(ctx, runsToBatches(batches))
+	}
+	out, err := c.ingestRunsBinary(ctx, batches)
+	if err == nil {
+		c.binaryOK.Store(1)
+		return out, nil
+	}
+	if mode == BinaryAuto && c.binaryOK.Load() == 0 && binaryRejected(err) {
+		// Negotiation: the server does not speak the binary encoding.
+		// Fall back to JSON now and for every later call.
+		c.binaryOK.Store(-1)
+		return c.IngestBatches(ctx, runsToBatches(batches))
+	}
+	return out, err
+}
+
+// binaryRejected recognizes "the server does not understand the
+// binary media type": 415 from a content-negotiating server, or a 400
+// without an error code — a legacy pre-envelope server that tried to
+// parse the frames as JSON. A 400 WITH a code comes from a server
+// that does speak binary and found a genuine problem (a NaN value, a
+// corrupt frame); falling back to JSON would just repeat it.
+func binaryRejected(err error) bool {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.StatusCode == http.StatusUnsupportedMediaType ||
+		(apiErr.StatusCode == http.StatusBadRequest && apiErr.Code == "")
+}
+
+// ingestRunsBinary encodes the batches with the shared wire codec
+// into a pooled buffer and posts them as application/x-efd-runs.
+func (c *Client) ingestRunsBinary(ctx context.Context, batches []monitor.RunBatch) (IngestResult, error) {
+	enc := c.encPool.Get().(*encBuf)
+	enc.frames = enc.frames[:0]
+	for _, b := range batches {
+		for _, run := range b.Runs {
+			enc.payload = wire.AppendRun(enc.payload[:0], b.JobID, run.Metric, run.Node, run.Offsets, run.Values)
+			enc.frames = wire.AppendFrame(enc.frames, enc.payload)
+		}
+	}
+	var out IngestResult
+	err := c.do(ctx, http.MethodPost, "/v1/samples", ContentTypeRuns, enc.frames, &out, false)
+	c.encPool.Put(enc)
+	return out, err
+}
+
+// runsToBatches converts columnar runs to the JSON sample form — the
+// fallback encoding. Offsets convert to float seconds; offsets on a
+// nanosecond grid round-trip exactly (the server rounds back to the
+// nearest nanosecond).
+func runsToBatches(batches []monitor.RunBatch) []monitor.Batch {
+	out := make([]monitor.Batch, len(batches))
+	for i, b := range batches {
+		jb := monitor.Batch{JobID: b.JobID}
+		for _, run := range b.Runs {
+			for k := range run.Values {
+				jb.Samples = append(jb.Samples, monitor.Sample{
+					Metric:  run.Metric,
+					Node:    run.Node,
+					OffsetS: run.Offsets[k].Seconds(),
+					Value:   run.Values[k],
+				})
+			}
+		}
+		out[i] = jb
+	}
+	return out
+}
+
+// Label learns a finished job into the dictionary under the
+// (application, input) label and retires it. Returns the canonical
+// label string.
+func (c *Client) Label(ctx context.Context, jobID, app, input string) (string, error) {
+	in := struct {
+		App   string `json:"app"`
+		Input string `json:"input"`
+	}{app, input}
+	var out struct {
+		Learned string `json:"learned"`
+	}
+	err := c.postJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID)+"/label", in, &out)
+	return out.Learned, err
+}
+
+// Delete forgets a job's stream without learning it.
+func (c *Client) Delete(ctx context.Context, jobID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(jobID), "", nil, nil, false)
+}
+
+// Series dumps a job's telemetry from the server's durable store.
+func (c *Client) Series(ctx context.Context, jobID string) (monitor.SeriesDump, error) {
+	var out monitor.SeriesDump
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID)+"/series", &out)
+	return out, err
+}
+
+// Executions lists the server's stored (finished) executions.
+func (c *Client) Executions(ctx context.Context) ([]monitor.ExecutionInfo, error) {
+	var out struct {
+		Executions []monitor.ExecutionInfo `json:"executions"`
+	}
+	err := c.getJSON(ctx, "/v1/executions", &out)
+	return out.Executions, err
+}
+
+// RecognizeExecution re-recognizes a stored execution with the
+// dictionary as it stands now.
+func (c *Client) RecognizeExecution(ctx context.Context, id string) (monitor.State, error) {
+	var out monitor.State
+	err := c.do(ctx, http.MethodPost, "/v1/executions/"+url.PathEscape(id)+"/recognize", "", nil, &out, false)
+	return out, err
+}

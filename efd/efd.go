@@ -37,6 +37,31 @@
 // efdd monitoring daemon uses to learn completed jobs while serving
 // recognition polls.
 //
+// # The public API, in layers
+//
+// This module exposes the always-on monitoring system as three
+// packages, one per deployment shape:
+//
+//   - efd (this package): the library core — datasets, training,
+//     offline and streaming recognition, evaluation, the paper's
+//     experiment protocols.
+//   - efd/monitor: the embeddable monitoring engine. monitor.New
+//     wraps a trained dictionary in a sharded, concurrent job table
+//     with the full job lifecycle (Register → Ingest → Result →
+//     Label/Close), columnar batch ingest, and an optional durable
+//     telemetry store (OpenStore) with WAL-backed crash recovery and
+//     re-recognizable stored executions. Use it to run a monitor
+//     inside your own process.
+//   - efd/client: the typed SDK for the efdd daemon's v1 HTTP API
+//     (documented in API.md), with connection reuse, retrying
+//     idempotent calls, a size/interval-flushing BatchWriter, and a
+//     negotiated binary columnar ingest encoding that round-trips
+//     float64 telemetry bit-exactly at a fraction of JSON's cost.
+//
+// The efdd daemon itself (cmd/efdd) is a thin HTTP adapter
+// (internal/server) over exactly the efd/monitor engine, so embedded
+// and remote deployments behave identically.
+//
 // The heavy lifting lives in the internal packages; this package
 // re-exports the stable surface a downstream user needs: dataset
 // generation (a synthetic stand-in for the Taxonomist telemetry

@@ -1,12 +1,22 @@
-// Streaming recognition: answer two minutes into an execution.
+// Streaming recognition through the embeddable monitoring engine:
+// answer two minutes into an execution.
 //
 // The paper's operational pitch is low latency — recognition from the
-// first two minutes of telemetry, not a post-mortem over the whole run.
-// This example builds a dictionary offline, then replays a fresh
-// execution's 1 Hz telemetry into a streaming recognizer sample by
-// sample, printing the provisional answer as the fingerprint window
-// fills and the final answer the moment it closes, long before the
-// job itself finishes.
+// first two minutes of telemetry, not a post-mortem over the whole
+// run. This example builds a dictionary offline, then drives the same
+// engine the efdd daemon serves over HTTP (efd/monitor) fully
+// in-process: a job registers, its 1 Hz telemetry streams in batch by
+// batch exactly as an LDMS aggregator would deliver it, the monitor
+// polls provisional answers as the fingerprint window fills, and the
+// final answer arrives the moment it closes — long before the job
+// itself finishes. The labelled job is then learned back into the
+// dictionary online, the loop the paper calls "learning new
+// applications is as simple as adding new keys".
+//
+// The same lifecycle is available over the wire: run cmd/efdd and
+// drive it with the typed efd/client SDK (client.New(baseURL),
+// Register/Ingest/Result/Label — or a BatchWriter in columnar mode
+// for the binary ingest encoding).
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"time"
 
 	"repro/efd"
+	"repro/efd/monitor"
 )
 
 func main() {
@@ -34,43 +45,75 @@ func main() {
 	}
 	fmt.Printf("dictionary ready: %d keys at depth %d\n", dict.Len(), report.BestDepth)
 
+	// The always-on monitor: the engine owns the dictionary from here
+	// (concurrent recognition, exclusive online learning).
+	eng := monitor.New(dict)
+
 	// Online phase: a new job starts — it happens to be miniAMR with
 	// input Z, but the monitor does not know that.
 	ns, err := efd.SimulateExecution("miniAMR", "Z", 4, metrics, 20260612)
 	if err != nil {
 		log.Fatal(err)
 	}
-	stream := efd.NewStream(dict, 4)
+	job, err := eng.Register("job-0042", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Replay the telemetry in arrival order: tick by tick across
-	// nodes, exactly as an LDMS aggregator would deliver it.
+	// Stream the telemetry in arrival order: tick by tick across
+	// nodes, exactly as an LDMS aggregator would forward it.
 	duration := ns.Duration()
 	fmt.Printf("job started (true duration %v); streaming telemetry...\n",
 		duration.Round(time.Second))
+	var batch []monitor.Sample
 	for tick := time.Duration(0); tick <= duration; tick += time.Second {
+		batch = batch[:0]
 		for _, node := range ns.Nodes() {
 			for _, metric := range metrics {
 				s := ns.Get(node, metric)
 				i := int(tick / time.Second)
 				if i < s.Len() {
-					stream.Feed(metric, node, s.OffsetAt(i), s.ValueAt(i))
+					batch = append(batch, monitor.Sample{
+						Metric: metric, Node: node,
+						OffsetS: s.OffsetAt(i).Seconds(), Value: s.ValueAt(i),
+					})
 				}
 			}
 		}
-		secs := int(tick.Seconds())
-		if secs > 0 && secs%30 == 0 && !stream.Complete() {
-			res := stream.Recognize()
-			fmt.Printf("  t=%3ds provisional: %-10s (matched %d/%d fingerprints)\n",
-				secs, res.Top(), res.Matched, res.Total)
+		if _, err := job.Ingest(batch); err != nil {
+			log.Fatal(err)
 		}
-		if stream.Complete() {
-			res := stream.Recognize()
-			fmt.Printf("  t=%3ds FINAL: %s (votes %v)\n", secs, res.Top(), res.Votes())
+		// Complete is cheap (no recognition pass); run the full
+		// Result only at the 30 s marks and at the finish line.
+		complete, err := job.Complete()
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := int(tick.Seconds())
+		if secs > 0 && secs%30 == 0 && !complete {
+			state, err := job.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  t=%3ds provisional: %-10s (matched %d/%d fingerprints)\n",
+				secs, state.Top, state.Matched, state.Total)
+		}
+		if complete {
+			state, err := job.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  t=%3ds FINAL: %s (votes %v)\n", secs, state.Top, state.Votes)
 			fmt.Printf("answered %v before the job finished\n",
 				(duration - tick).Round(time.Second))
-			if len(res.Inputs()) > 0 {
-				fmt.Printf("input-size estimate: %v\n", res.Inputs())
+			// Close the loop: the operator confirms the label and the
+			// engine learns this execution online.
+			learned, err := job.Label("miniAMR", "Z")
+			if err != nil {
+				log.Fatal(err)
 			}
+			fmt.Printf("learned back into the dictionary as %s (%d keys now)\n",
+				learned, eng.DictionaryInfo().Keys)
 			return
 		}
 	}

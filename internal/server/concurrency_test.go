@@ -181,7 +181,7 @@ func TestShardedServerConcurrency(t *testing.T) {
 	// The concurrently learned application is recognizable and its job
 	// consumed.
 	var top string
-	s.dict.Read(func(d *core.Dictionary) {
+	s.Dictionary().Read(func(d *core.Dictionary) {
 		top = d.Recognize(fixedSource{nodes: 2, level: 9000}).Top()
 	})
 	if top != "lammps" {

@@ -1,185 +1,93 @@
-// Package server exposes a trained Execution Fingerprint Dictionary as
-// an HTTP monitoring service — the deployment shape the paper's MODA
-// context implies: an LDMS aggregator forwards per-node samples of
-// running jobs, operators query recognition results two minutes into
-// each job, and completed jobs can be labelled back into the dictionary
-// ("learning new applications is as simple as adding new keys", §6).
+// Package server is the HTTP adapter over the public monitoring
+// engine (efd/monitor): it exposes a trained Execution Fingerprint
+// Dictionary as the v1 monitoring service — the deployment shape the
+// paper's MODA context implies: an LDMS aggregator forwards per-node
+// samples of running jobs, operators query recognition results two
+// minutes into each job, and completed jobs can be labelled back into
+// the dictionary ("learning new applications is as simple as adding
+// new keys", §6).
 //
-// # Architecture
+// All business logic — the sharded job table, the shared-dictionary
+// concurrency contract, ingest, lifecycle, durable storage — lives in
+// efd/monitor. This package only decodes requests, delegates to the
+// engine, maps engine errors onto status codes, and encodes
+// responses. API.md documents the full wire protocol.
 //
-// The service is built for concurrent ingest and recognition. Jobs live
-// in a sharded table: NumShards shards selected by FNV-1a hash of the
-// job ID, each shard guarded by its own RWMutex, so registration and
-// lookup of one job never contend with another shard. Every job
-// additionally carries its own mutex serializing its stream — ingest
-// for job A proceeds in parallel with recognition of job B, and two
-// sample batches for the same job are applied in order.
-//
-// The dictionary itself is wrapped in a core.SharedDictionary:
-// recognition polls take shared (read) access and run concurrently
-// across jobs, while an online Learn (POST /v1/jobs/{id}/label) takes
-// exclusive access for the duration of one insertion. Sample ingest
-// touches only the immutable fingerprint configuration and therefore
-// takes no dictionary lock at all — the ingest path never stalls
-// behind recognition or learning.
-//
-// # Endpoints (all JSON)
+// # Endpoints
 //
 //	GET    /healthz              liveness
 //	GET    /v1/dictionary        dictionary statistics
 //	GET    /v1/metrics           service counters + shard occupancy
 //	POST   /v1/jobs              register a job {job_id, nodes}
 //	GET    /v1/jobs              paginated job listing (?offset=&limit=)
-//	POST   /v1/samples           feed samples, single-job or multi-job:
-//	                             {job_id, samples:[{metric,node,offset_s,value}]}
-//	                             {batches:[{job_id, samples:[...]}, ...]}
+//	POST   /v1/samples           feed samples; JSON single-job or
+//	                             multi-job form, or the binary columnar
+//	                             encoding (application/x-efd-runs)
 //	GET    /v1/jobs/{id}         recognition state of a job
 //	POST   /v1/jobs/{id}/label   learn a finished job {app, input}
 //	DELETE /v1/jobs/{id}         forget a job's stream
 //
-// With a durable store attached (AttachStore; cmd/efdd -data-dir),
-// ingest is write-ahead logged and jobs survive restarts, and three
-// further routes open up (501 without a store):
+// With a durable store attached (engine.OpenStore; cmd/efdd
+// -data-dir), three further routes open up (501 without a store):
 //
 //	GET    /v1/jobs/{id}/series          stored telemetry of a job
 //	GET    /v1/executions                stored (finished) executions
 //	POST   /v1/executions/{id}/recognize re-recognize a stored execution
 //	                                     with the current dictionary
 //
-// Job IDs must be non-empty, at most MaxJobIDLen bytes, and must not
-// contain '/' (which would collide with the path routing above); sample
-// offsets and values must be finite. Both are rejected with 400 before
-// any state changes.
+// Errors use a uniform JSON envelope:
+//
+//	{"error": {"code": "not_found", "message": "unknown job \"x\""}}
+//
+// and method rejections answer 405 with an Allow header. Request
+// bodies are bounded by Server.MaxBodyBytes (413 beyond it).
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"math"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"repro/internal/apps"
+	"repro/efd/monitor"
 	"repro/internal/core"
-	"repro/internal/tsdb"
 )
 
-// NumShards is the number of independent job-table shards. Job IDs are
-// assigned to shards by FNV-1a hash.
-const NumShards = 64
+// NumShards is the number of job-table shards (see efd/monitor).
+const NumShards = monitor.NumShards
 
 // MaxJobIDLen bounds the byte length of a registered job ID.
-const MaxJobIDLen = 256
+const MaxJobIDLen = monitor.MaxJobIDLen
 
-// Server is the HTTP monitoring service. It is safe for concurrent
-// use; see the package comment for the locking architecture.
+// DefaultMaxBodyBytes is the default request body limit: generous for
+// batch ingest (a multi-thousand-sample JSON batch is well under a
+// megabyte) while keeping a single oversized body from ballooning
+// server memory.
+const DefaultMaxBodyBytes = 8 << 20
+
+// Server adapts a monitoring engine onto HTTP. The embedded Engine is
+// the public API surface (register, ingest, query, storage); Server
+// adds only wire concerns. It is safe for concurrent use.
 type Server struct {
-	dict *core.SharedDictionary
+	*monitor.Engine
 
-	// store, when attached (AttachStore), makes ingest durable: runs
-	// are WAL-appended on the ingest path, one group-commit fsync
-	// acknowledges each batch, and labelled jobs become stored,
-	// re-recognizable executions. nil runs the original in-memory mode.
-	store *tsdb.Store
-
-	shards   [NumShards]shard
-	jobCount atomic.Int64
-
-	// MaxJobs bounds the number of concurrently tracked jobs
-	// (default 4096); registration beyond it is rejected. Set it
+	// MaxBodyBytes caps every request body (http.MaxBytesReader);
+	// larger bodies answer 413. Default DefaultMaxBodyBytes; set
 	// before serving requests.
-	MaxJobs int
-
-	met counters
-}
-
-type shard struct {
-	mu   sync.RWMutex
-	jobs map[string]*job
-}
-
-// job is one tracked stream. Its mutex serializes all access to the
-// stream and the ingest bookkeeping; the shard lock only guards the
-// map that holds it.
-type job struct {
-	mu      sync.Mutex
-	stream  *core.Stream
-	nodes   int
-	samples int64
-	lastOff time.Duration
-	// done marks a job that has been labelled or deleted; a handler
-	// that resolved the pointer before removal treats it as gone.
-	done bool
-	// colOff/colVal are the job's reused ingest scratch: feedJob
-	// regroups each wire batch into columnar (metric, node) runs here
-	// before handing them to Stream.FeedRun, so steady-state ingest
-	// allocates nothing per batch. Guarded by mu like the stream.
-	colOff []time.Duration
-	colVal []float64
-}
-
-// counters are the service's monotonically increasing metrics, exposed
-// by GET /v1/metrics.
-type counters struct {
-	registered      atomic.Int64
-	deleted         atomic.Int64
-	learned         atomic.Int64
-	sampleBatches   atomic.Int64
-	samplesAccepted atomic.Int64
-	batchesRejected atomic.Int64
-	recognitions    atomic.Int64
-	recovered       atomic.Int64
-	rerecognitions  atomic.Int64
+	MaxBodyBytes int64
 }
 
 // New returns a service over the dictionary. The server takes
 // ownership of the dictionary's concurrency: all further access must
 // go through the server (or SaveDictionary).
-func New(dict *core.Dictionary) *Server {
-	s := &Server{dict: core.Share(dict), MaxJobs: 4096}
-	for i := range s.shards {
-		s.shards[i].jobs = make(map[string]*job)
-	}
-	return s
-}
+func New(dict *core.Dictionary) *Server { return NewEngine(monitor.New(dict)) }
 
-// shardFor selects the shard of a job ID by FNV-1a hash.
-func (s *Server) shardFor(id string) *shard {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(id); i++ {
-		h ^= uint32(id[i])
-		h *= prime32
-	}
-	return &s.shards[h%NumShards]
-}
-
-// getJob resolves a job ID to its live job, or nil.
-func (s *Server) getJob(id string) *job {
-	sh := s.shardFor(id)
-	sh.mu.RLock()
-	j := sh.jobs[id]
-	sh.mu.RUnlock()
-	return j
-}
-
-// SaveDictionary writes the dictionary under shared access, so a save
-// never observes a half-applied Learn. The efdd daemon calls this on
-// graceful shutdown.
-func (s *Server) SaveDictionary(w io.Writer) error {
-	var err error
-	s.dict.Read(func(d *core.Dictionary) { err = d.Save(w) })
-	return err
+// NewEngine wraps an existing engine — the path for embedders that
+// built (and possibly pre-loaded) the engine themselves.
+func NewEngine(e *monitor.Engine) *Server {
+	return &Server{Engine: e, MaxBodyBytes: DefaultMaxBodyBytes}
 }
 
 // Handler returns the HTTP handler of the service.
@@ -198,57 +106,33 @@ func (s *Server) Handler() http.Handler {
 
 // --- wire types -------------------------------------------------------
 
+// The engine's wire types ARE the v1 JSON schema; aliases keep the
+// adapter (and its tests) in the protocol's vocabulary.
+type (
+	wireSample   = monitor.Sample
+	sampleBatch  = monitor.Batch
+	jobState     = monitor.State
+	metricsState = monitor.Stats
+)
+
 type registerRequest struct {
 	JobID string `json:"job_id"`
 	Nodes int    `json:"nodes"`
 }
 
-type sampleBatch struct {
-	JobID   string       `json:"job_id"`
-	Samples []wireSample `json:"samples"`
-}
-
-// ingestRequest is the body of POST /v1/samples: either the single-job
-// form (job_id + samples) or the multi-job form (batches), which groups
-// samples by job so each shard is locked once per request.
+// ingestRequest is the JSON body of POST /v1/samples: either the
+// single-job form (job_id + samples) or the multi-job form (batches),
+// which groups samples by job so each shard is locked once per
+// request.
 type ingestRequest struct {
 	JobID   string        `json:"job_id"`
 	Samples []wireSample  `json:"samples"`
 	Batches []sampleBatch `json:"batches"`
 }
 
-type wireSample struct {
-	Metric  string  `json:"metric"`
-	Node    int     `json:"node"`
-	OffsetS float64 `json:"offset_s"`
-	Value   float64 `json:"value"`
-}
-
-type jobState struct {
-	JobID      string         `json:"job_id"`
-	Complete   bool           `json:"complete"`
-	Recognized bool           `json:"recognized"`
-	Top        string         `json:"top"`
-	Apps       []string       `json:"apps,omitempty"`
-	Votes      map[string]int `json:"votes,omitempty"`
-	Confidence float64        `json:"confidence"`
-	Matched    int            `json:"matched"`
-	Total      int            `json:"total"`
-}
-
-type jobSummary struct {
-	JobID       string  `json:"job_id"`
-	Nodes       int     `json:"nodes"`
-	Complete    bool    `json:"complete"`
-	Samples     int64   `json:"samples"`
-	LastOffsetS float64 `json:"last_offset_s"`
-}
-
-type jobListing struct {
-	Total  int          `json:"total"`
-	Offset int          `json:"offset"`
-	Limit  int          `json:"limit"`
-	Jobs   []jobSummary `json:"jobs"`
+type ingestResponse struct {
+	Accepted int      `json:"accepted"`
+	Unknown  []string `json:"unknown,omitempty"`
 }
 
 type labelRequest struct {
@@ -256,32 +140,80 @@ type labelRequest struct {
 	Input string `json:"input"`
 }
 
-type dictState struct {
-	Keys       int      `json:"keys"`
-	Exclusive  int      `json:"exclusive"`
-	Collisions int      `json:"collisions"`
-	Labels     int      `json:"labels"`
-	Depth      int      `json:"depth"`
-	Apps       []string `json:"apps"`
-	LiveJobs   int      `json:"live_jobs"`
+// --- error envelope ---------------------------------------------------
+
+// Machine-readable error codes of the v1 envelope.
+const (
+	codeBadRequest       = "bad_request"
+	codeNotFound         = "not_found"
+	codeConflict         = "conflict"
+	codeTooManyJobs      = "resource_exhausted"
+	codeMethodNotAllowed = "method_not_allowed"
+	codePayloadTooLarge  = "payload_too_large"
+	codeUnimplemented    = "unimplemented"
+	codeInternal         = "internal"
+)
+
+type errorBody struct {
+	Error errorDetail `json:"error"`
 }
 
-type metricsState struct {
-	LiveJobs        int64 `json:"live_jobs"`
-	MaxJobs         int   `json:"max_jobs"`
-	Shards          int   `json:"shards"`
-	ShardOccupancy  []int `json:"shard_occupancy"`
-	Registered      int64 `json:"registered_total"`
-	Deleted         int64 `json:"deleted_total"`
-	Learned         int64 `json:"learned_total"`
-	SampleBatches   int64 `json:"sample_batches_total"`
-	SamplesAccepted int64 `json:"samples_accepted_total"`
-	BatchesRejected int64 `json:"batches_rejected_total"`
-	Recognitions    int64 `json:"recognitions_total"`
-	// Store carries the durable-store counters (WAL bytes, segments,
-	// mmap'd bytes, flush/replay/quarantine totals); absent in
-	// in-memory mode.
-	Store *storeMetrics `json:"store,omitempty"`
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// engineError maps an engine error onto (status, code) and writes the
+// envelope. The "monitor: " prefix is the library's, not the wire
+// protocol's, so it is trimmed from the message.
+func engineError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, codeInternal
+	switch {
+	case errors.Is(err, monitor.ErrInvalid):
+		status, code = http.StatusBadRequest, codeBadRequest
+	case errors.Is(err, monitor.ErrUnknownJob):
+		status, code = http.StatusNotFound, codeNotFound
+	case errors.Is(err, monitor.ErrJobExists):
+		status, code = http.StatusConflict, codeConflict
+	case errors.Is(err, monitor.ErrNotComplete):
+		status, code = http.StatusConflict, codeConflict
+	case errors.Is(err, monitor.ErrTableFull):
+		status, code = http.StatusTooManyRequests, codeTooManyJobs
+	case errors.Is(err, monitor.ErrNoStore):
+		status, code = http.StatusNotImplemented, codeUnimplemented
+	}
+	httpError(w, status, code, "%s", strings.TrimPrefix(err.Error(), "monitor: "))
+}
+
+// methodNotAllowed answers 405 with the mandatory Allow header.
+func methodNotAllowed(w http.ResponseWriter, allow ...string) {
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	httpError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method not allowed (use %s)", strings.Join(allow, " or "))
+}
+
+// decodeJSON decodes a bounded request body, distinguishing oversized
+// bodies (413) from malformed ones (400). The caller must have
+// wrapped the body with s.limitBody.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, codePayloadTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// limitBody caps the request body at MaxBodyBytes.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
 }
 
 // --- handlers ---------------------------------------------------------
@@ -292,65 +224,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDictionary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	var out dictState
-	s.dict.Read(func(d *core.Dictionary) {
-		st := d.Stats()
-		out = dictState{
-			Keys: st.Keys, Exclusive: st.Exclusive, Collisions: st.Collisions,
-			Labels: st.Labels, Depth: st.Depth, Apps: d.Apps(),
-		}
-	})
-	out.LiveJobs = int(s.jobCount.Load())
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, s.DictionaryInfo())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	out := metricsState{
-		LiveJobs:        s.jobCount.Load(),
-		MaxJobs:         s.MaxJobs,
-		Shards:          NumShards,
-		ShardOccupancy:  make([]int, NumShards),
-		Registered:      s.met.registered.Load(),
-		Deleted:         s.met.deleted.Load(),
-		Learned:         s.met.learned.Load(),
-		SampleBatches:   s.met.sampleBatches.Load(),
-		SamplesAccepted: s.met.samplesAccepted.Load(),
-		BatchesRejected: s.met.batchesRejected.Load(),
-		Recognitions:    s.met.recognitions.Load(),
-		Store:           s.storeSection(),
-	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		out.ShardOccupancy[i] = len(sh.jobs)
-		sh.mu.RUnlock()
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// validateJobID enforces the registration-time job ID rules. IDs
-// containing '/' would shadow or intercept the /v1/jobs/{id}[/label]
-// routes, and "."/".." are unreachable after ServeMux path cleaning,
-// so all are rejected up front.
-func validateJobID(id string) string {
-	switch {
-	case id == "":
-		return "job_id required"
-	case len(id) > MaxJobIDLen:
-		return fmt.Sprintf("job_id longer than %d bytes", MaxJobIDLen)
-	case strings.Contains(id, "/"):
-		return "job_id must not contain '/'"
-	case id == "." || id == "..":
-		return "job_id must not be '.' or '..'"
-	}
-	return ""
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -360,153 +245,55 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleRegister(w, r)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or POST")
+		methodNotAllowed(w, http.MethodGet, http.MethodPost)
 	}
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
 	var req registerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Nodes <= 0 {
-		httpError(w, http.StatusBadRequest, "job_id and positive nodes required")
+	if _, err := s.Register(req.JobID, req.Nodes); err != nil {
+		engineError(w, err)
 		return
 	}
-	if msg := validateJobID(req.JobID); msg != "" {
-		httpError(w, http.StatusBadRequest, "%s", msg)
-		return
-	}
-	sh := s.shardFor(req.JobID)
-	// Cheap precheck so doomed registrations (duplicates, full table)
-	// answer from the shard map alone, without building a stream or
-	// waiting on the dictionary lock behind a Learn. Both conditions
-	// are re-checked authoritatively under the write lock below.
-	sh.mu.RLock()
-	_, exists := sh.jobs[req.JobID]
-	sh.mu.RUnlock()
-	if exists {
-		httpError(w, http.StatusConflict, "job %q already registered", req.JobID)
-		return
-	}
-	if s.jobCount.Load() >= int64(s.MaxJobs) {
-		httpError(w, http.StatusTooManyRequests, "job table full (%d)", s.MaxJobs)
-		return
-	}
-	var stream *core.Stream
-	s.dict.Read(func(d *core.Dictionary) { stream = core.NewStream(d, req.Nodes) })
-	sh.mu.Lock()
-	if _, exists := sh.jobs[req.JobID]; exists {
-		sh.mu.Unlock()
-		httpError(w, http.StatusConflict, "job %q already registered", req.JobID)
-		return
-	}
-	if s.jobCount.Add(1) > int64(s.MaxJobs) {
-		s.jobCount.Add(-1)
-		sh.mu.Unlock()
-		httpError(w, http.StatusTooManyRequests, "job table full (%d)", s.MaxJobs)
-		return
-	}
-	j := &job{stream: stream, nodes: req.Nodes}
-	sh.jobs[req.JobID] = j
-	sh.mu.Unlock()
-	if s.store != nil {
-		// Durable registration. Feeders that race ahead of it fail
-		// their store append (unknown job) and report 500 without
-		// touching the stream, so memory never runs ahead of the WAL.
-		if err := s.store.Register(req.JobID, req.Nodes); err != nil {
-			s.removeJob(req.JobID, j)
-			httpError(w, http.StatusInternalServerError, "store registration: %v", err)
-			return
-		}
-	}
-	s.met.registered.Add(1)
 	writeJSON(w, http.StatusCreated, map[string]string{"job_id": req.JobID})
 }
 
-// handleJobList serves GET /v1/jobs: a deterministic (ID-sorted),
-// paginated listing of live jobs with lightweight per-job state.
-// Recognition state is deliberately per-job (GET /v1/jobs/{id}), so a
-// wide listing never runs recognition for every job.
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	offset, err := queryInt(q.Get("offset"), 0)
-	if err != nil || offset < 0 {
-		httpError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad offset %q", q.Get("offset"))
 		return
 	}
 	limit, err := queryInt(q.Get("limit"), 100)
-	if err != nil || limit <= 0 || limit > 1000 {
-		httpError(w, http.StatusBadRequest, "bad limit %q (1..1000)", q.Get("limit"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeBadRequest, "bad limit %q (1..1000)", q.Get("limit"))
 		return
 	}
-	type idJob struct {
-		id string
-		j  *job
+	listing, lerr := s.Jobs(offset, limit)
+	if lerr != nil {
+		engineError(w, lerr)
+		return
 	}
-	var all []idJob
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for id, j := range sh.jobs {
-			all = append(all, idJob{id, j})
-		}
-		sh.mu.RUnlock()
-	}
-	sort.Slice(all, func(i, k int) bool { return all[i].id < all[k].id })
-	out := jobListing{Total: len(all), Offset: offset, Limit: limit, Jobs: []jobSummary{}}
-	if offset < len(all) {
-		page := all[offset:]
-		if len(page) > limit {
-			page = page[:limit]
-		}
-		for _, ij := range page {
-			ij.j.mu.Lock()
-			out.Jobs = append(out.Jobs, jobSummary{
-				JobID:       ij.id,
-				Nodes:       ij.j.nodes,
-				Complete:    ij.j.stream.Complete(),
-				Samples:     ij.j.samples,
-				LastOffsetS: ij.j.lastOff.Seconds(),
-			})
-			ij.j.mu.Unlock()
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// maxOffsetS is the largest offset (in seconds) representable as a
-// time.Duration; larger offsets would overflow the conversion.
-var maxOffsetS = float64(math.MaxInt64) / float64(time.Second)
-
-// validateSamples rejects non-finite offsets/values and offsets whose
-// Duration conversion would overflow, before anything is fed — a NaN
-// value would otherwise permanently poison the job's Welford
-// accumulators.
-func validateSamples(jobID string, samples []wireSample) string {
-	for i, smp := range samples {
-		// >=/<=: maxOffsetS is float64(MaxInt64)/1e9 and float64
-		// rounds MaxInt64 up to 2^63, so equality already overflows
-		// the Duration conversion.
-		if math.IsNaN(smp.OffsetS) || math.IsInf(smp.OffsetS, 0) || smp.OffsetS <= -maxOffsetS || smp.OffsetS >= maxOffsetS {
-			return fmt.Sprintf("job %q sample %d: non-finite or out-of-range offset_s", jobID, i)
-		}
-		if math.IsNaN(smp.Value) || math.IsInf(smp.Value, 0) {
-			return fmt.Sprintf("job %q sample %d: non-finite value", jobID, i)
-		}
-	}
-	return ""
+	writeJSON(w, http.StatusOK, listing)
 }
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	s.limitBody(w, r)
+	if isRunsContentType(r.Header.Get("Content-Type")) {
+		s.handleSamplesBinary(w, r)
 		return
 	}
 	var req ingestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	single := len(req.Batches) == 0
@@ -515,192 +302,45 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		batches = append(batches, sampleBatch{JobID: req.JobID, Samples: req.Samples})
 	}
 	if len(batches) == 0 {
-		httpError(w, http.StatusBadRequest, "empty ingest request")
+		httpError(w, http.StatusBadRequest, codeBadRequest, "empty ingest request")
 		return
 	}
-	// Count attempts first so rejected batches stay a subset of
-	// attempted ones in /v1/metrics (rejection rate can never read
-	// above 100%); both wire forms report identically.
-	s.met.sampleBatches.Add(int64(len(batches)))
-	// Validate everything before feeding anything, so a bad batch
-	// leaves no partial state. Batch IDs that could never have been
-	// registered are malformed requests (400), not unknown jobs (404).
-	invalid := 0
-	firstMsg := ""
-	for _, b := range batches {
-		msg := validateJobID(b.JobID)
-		if msg == "" {
-			msg = validateSamples(b.JobID, b.Samples)
-		}
-		if msg != "" {
-			invalid++
-			if firstMsg == "" {
-				firstMsg = msg
-			}
-		}
-	}
-	if invalid > 0 {
-		s.met.batchesRejected.Add(int64(invalid))
-		httpError(w, http.StatusBadRequest, "%s", firstMsg)
-		return
-	}
-
-	// Resolve jobs, then feed each under its own mutex. The single-job
-	// form (the per-node LDMS forwarder path) resolves directly; the
-	// multi-job form groups batches by shard so each shard is
-	// read-locked once per request.
-	var unknown []string
-	accepted := 0
-	if single {
-		j := s.getJob(batches[0].JobID)
-		if j == nil {
-			httpError(w, http.StatusNotFound, "unknown job %q", batches[0].JobID)
-			return
-		}
-		n, ok, err := s.feedJob(batches[0].JobID, j, batches[0].Samples)
-		accepted += n
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "store append: %v", err)
-			return
-		}
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown job %q", batches[0].JobID)
-			return
-		}
-	} else {
-		type resolved struct {
-			b sampleBatch
-			j *job
-		}
-		byShard := make(map[*shard][]int, 1)
-		for i, b := range batches {
-			sh := s.shardFor(b.JobID)
-			byShard[sh] = append(byShard[sh], i)
-		}
-		work := make([]resolved, 0, len(batches))
-		for sh, idxs := range byShard {
-			sh.mu.RLock()
-			for _, i := range idxs {
-				if j := sh.jobs[batches[i].JobID]; j != nil {
-					work = append(work, resolved{b: batches[i], j: j})
-				} else {
-					unknown = append(unknown, batches[i].JobID)
-				}
-			}
-			sh.mu.RUnlock()
-		}
-		for _, rw := range work {
-			n, ok, err := s.feedJob(rw.b.JobID, rw.j, rw.b.Samples)
-			accepted += n
-			if err != nil {
-				httpError(w, http.StatusInternalServerError, "store append: %v", err)
-				return
-			}
-			if !ok {
-				unknown = append(unknown, rw.b.JobID)
-			}
-		}
-	}
-	// One durable commit acknowledges the whole request — fsync
-	// batching: many runs, many jobs, one fsync. A Commit failure 500s
-	// with the streams already fed (a retry would double-feed them);
-	// ingest is at-least-once under storage errors, and an fsync
-	// failure means the durable state is suspect anyway — restart and
-	// replay the WAL rather than limp on.
-	if s.store != nil && accepted > 0 {
-		if err := s.store.Commit(); err != nil {
-			httpError(w, http.StatusInternalServerError, "store commit: %v", err)
-			return
-		}
-	}
-	s.met.samplesAccepted.Add(int64(accepted))
-	if len(unknown) > 0 {
-		// Sorted in both the 404 and partial-success forms: shard-map
-		// iteration order is nondeterministic.
-		sort.Strings(unknown)
-		if accepted == 0 {
-			httpError(w, http.StatusNotFound, "unknown jobs: %s", strings.Join(unknown, ", "))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "unknown": unknown})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
+	accepted, unknown, err := s.IngestBatches(batches)
+	s.writeIngestOutcome(w, single, accepted, unknown, err)
 }
 
-// feedJob applies one batch of pre-validated samples to a job under
-// its mutex. It reports the number of samples fed and false when the
-// job has already been labelled or deleted. No dictionary lock is
-// taken: Feed only reads the immutable fingerprint configuration, so
-// ingest never stalls behind recognition or learning. With a store
-// attached each run is WAL-appended before it reaches the stream, so
-// the in-memory state never runs ahead of what a restart can replay;
-// the fsync happens once per request (handleSamples commits).
-func (s *Server) feedJob(id string, j *job, samples []wireSample) (int, bool, error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.done {
-		return 0, false, nil
+// writeIngestOutcome maps an engine ingest result onto the v1
+// response: engine errors keep their status, fully-unknown requests
+// are 404 (with the single-job form's original message shape), and
+// partial success reports the sorted unknown IDs alongside the count.
+func (s *Server) writeIngestOutcome(w http.ResponseWriter, single bool, accepted int, unknown []string, err error) {
+	if err != nil {
+		engineError(w, err)
+		return
 	}
-	// LDMS forwarders emit long runs of one metric set on one node;
-	// regroup the batch into those contiguous (metric, node) runs and
-	// feed each as one columnar append, so the stream resolves metric
-	// configuration and window accumulators once per run instead of
-	// once per sample.
-	fed := 0
-	for i := 0; i < len(samples); {
-		metric, node := samples[i].Metric, samples[i].Node
-		j.colOff, j.colVal = j.colOff[:0], j.colVal[:0]
-		for ; i < len(samples) && samples[i].Metric == metric && samples[i].Node == node; i++ {
-			// Round, don't truncate: a forwarder that accumulated
-			// 59.999999999999996 means the 60 s tick, and truncation
-			// would silently drop it from the [60:120) window.
-			// validateSamples already bounded the magnitude.
-			offset := time.Duration(math.Round(samples[i].OffsetS * float64(time.Second)))
-			j.colOff = append(j.colOff, offset)
-			j.colVal = append(j.colVal, samples[i].Value)
+	if len(unknown) > 0 && accepted == 0 {
+		if single {
+			httpError(w, http.StatusNotFound, codeNotFound, "unknown job %q", unknown[0])
+		} else {
+			httpError(w, http.StatusNotFound, codeNotFound, "unknown jobs: %s", strings.Join(unknown, ", "))
 		}
-		if s.store != nil {
-			if err := s.store.Append(id, metric, node, j.colOff, j.colVal); err != nil {
-				j.samples += int64(fed)
-				if errors.Is(err, tsdb.ErrUnknownJob) {
-					// The documented register race: the job is in the
-					// shard map but its store registration has not
-					// landed yet. It can only hit the first run (store
-					// registration is atomic and outlives the job), so
-					// nothing of this job was fed — report it like an
-					// unknown job instead of failing jobs that were
-					// already fed in this batch, whose WAL records
-					// still need the request's Commit.
-					return fed, false, nil
-				}
-				return fed, true, err
-			}
-		}
-		for _, off := range j.colOff {
-			if off > j.lastOff {
-				j.lastOff = off
-			}
-		}
-		j.stream.FeedRun(metric, node, j.colOff, j.colVal)
-		fed += len(j.colVal)
+		return
 	}
-	j.samples += int64(fed)
-	return fed, true, nil
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted, Unknown: unknown})
 }
 
 // handleJob dispatches /v1/jobs/{id} and /v1/jobs/{id}/label. IDs
 // containing '/' are rejected at registration, so any remaining slash
-// in the path (other than the /label suffix) is an unknown route.
+// in the path (other than the known suffixes) is an unknown route.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	if rest == "" {
-		httpError(w, http.StatusNotFound, "missing job id")
+		httpError(w, http.StatusNotFound, codeNotFound, "missing job id")
 		return
 	}
 	if id, ok := strings.CutSuffix(rest, "/label"); ok {
 		if id == "" || strings.Contains(id, "/") {
-			httpError(w, http.StatusNotFound, "no such route")
+			httpError(w, http.StatusNotFound, codeNotFound, "no such route")
 			return
 		}
 		s.handleLabel(w, r, id)
@@ -708,14 +348,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if id, ok := strings.CutSuffix(rest, "/series"); ok {
 		if id == "" || strings.Contains(id, "/") {
-			httpError(w, http.StatusNotFound, "no such route")
+			httpError(w, http.StatusNotFound, codeNotFound, "no such route")
 			return
 		}
 		s.handleJobSeries(w, r, id)
 		return
 	}
 	if strings.Contains(rest, "/") {
-		httpError(w, http.StatusNotFound, "no such route")
+		httpError(w, http.StatusNotFound, codeNotFound, "no such route")
 		return
 	}
 	switch r.Method {
@@ -724,148 +364,57 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.handleDelete(w, rest)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE")
+		methodNotAllowed(w, http.MethodGet, http.MethodDelete)
 	}
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, id string) {
-	j := s.getJob(id)
-	if j == nil {
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+	j, ok := s.Lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "unknown job %q", id)
 		return
 	}
-	j.mu.Lock()
-	if j.done {
-		j.mu.Unlock()
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+	state, err := j.Result()
+	if err != nil {
+		engineError(w, err)
 		return
 	}
-	var out jobState
-	// The stream's recognizer scratch is reused across polls (we hold
-	// the job mutex, so no concurrent poll can invalidate the Result);
-	// the dictionary read section excludes a concurrent Learn while
-	// the Result is consumed.
-	s.dict.Read(func(*core.Dictionary) {
-		res := j.stream.Recognize()
-		out = jobState{
-			JobID:      id,
-			Complete:   j.stream.Complete(),
-			Recognized: res.Recognized(),
-			Top:        res.Top(),
-			// res.Apps aliases the recognizer's reused scratch; it must
-			// be copied before the locks drop or a concurrent poll of
-			// the same job would rewrite it mid-encode.
-			Apps:       append([]string(nil), res.Apps...),
-			Votes:      res.Votes(),
-			Confidence: res.Confidence(),
-			Matched:    res.Matched,
-			Total:      res.Total,
-		}
-	})
-	j.mu.Unlock()
-	s.met.recognitions.Add(1)
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, state)
 }
 
 func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	s.limitBody(w, r)
 	var req labelRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	label, err := apps.ParseLabel(req.App + "_" + req.Input)
+	j, ok := s.Lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "unknown job %q", id)
+		return
+	}
+	learned, err := j.Label(req.App, req.Input)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad label: %v", err)
+		engineError(w, err)
 		return
 	}
-	j := s.getJob(id)
-	if j == nil {
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
-		return
-	}
-	j.mu.Lock()
-	if j.done {
-		j.mu.Unlock()
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
-		return
-	}
-	if !j.stream.Complete() {
-		j.mu.Unlock()
-		httpError(w, http.StatusConflict, "job %q has not covered the fingerprint window yet", id)
-		return
-	}
-	// Store first, learn second: Finish mutates nothing when its WAL
-	// append fails, so a storage error leaves the job fully intact
-	// (still live, still labellable) with the dictionary untouched —
-	// whereas Learn cannot be rolled back. Running it under the job
-	// mutex and before the unlink also pins the store incarnation:
-	// feeders are blocked by j.mu, and a re-registration of the same
-	// ID cannot slip in (the ID is still in the shard map, so register
-	// answers 409) and have its fresh store entry finished by us.
-	if s.store != nil {
-		if err := s.store.Finish(id, label.String()); err != nil {
-			j.mu.Unlock()
-			httpError(w, http.StatusInternalServerError, "store finish: %v", err)
-			return
-		}
-	}
-	// Online learning: insert the completed stream's fingerprints
-	// under exclusive dictionary access.
-	s.dict.Learn(j.stream, label)
-	j.done = true
-	j.mu.Unlock()
-	s.removeJob(id, j)
-	s.met.learned.Add(1)
-	writeJSON(w, http.StatusOK, map[string]string{"learned": label.String()})
-}
-
-// removeJob unlinks a specific job pointer from its shard, tolerating
-// the ID having been re-registered in the meantime.
-func (s *Server) removeJob(id string, j *job) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	if sh.jobs[id] == j {
-		delete(sh.jobs, id)
-		s.jobCount.Add(-1)
-	}
-	sh.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"learned": learned})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, id string) {
-	// Same order as handleLabel (job mutex, then shard lock via
-	// removeJob): done is set before the unlink, so a feeder that
-	// resolved the pointer earlier can never feed an unlinked stream.
-	j := s.getJob(id)
-	if j == nil {
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+	j, ok := s.Lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "unknown job %q", id)
 		return
 	}
-	j.mu.Lock()
-	if j.done {
-		j.mu.Unlock()
-		httpError(w, http.StatusNotFound, "unknown job %q", id)
+	if err := j.Close(); err != nil {
+		engineError(w, err)
 		return
 	}
-	// Drop from the store before the unlink, under the job mutex, for
-	// the same incarnation-pinning reasons as handleLabel: a failed
-	// Drop leaves the job fully alive (no state diverged), and a
-	// concurrent re-registration cannot create a fresh store entry for
-	// this ID that our Drop would then delete.
-	if s.store != nil {
-		if err := s.store.Drop(id); err != nil {
-			j.mu.Unlock()
-			httpError(w, http.StatusInternalServerError, "store drop: %v", err)
-			return
-		}
-	}
-	j.done = true
-	j.mu.Unlock()
-	s.removeJob(id, j)
-	s.met.deleted.Add(1)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -882,8 +431,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/efd/monitor"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/telemetry"
@@ -165,7 +166,7 @@ func TestOnlineLearning(t *testing.T) {
 	}
 	// The dictionary now recognizes the new application.
 	var top string
-	s.dict.Read(func(d *core.Dictionary) {
+	s.Dictionary().Read(func(d *core.Dictionary) {
 		top = d.Recognize(fixedSource{nodes: 2, level: 9000}).Top()
 	})
 	if top != "lammps" {
@@ -295,7 +296,7 @@ func TestNonFiniteSamplesRejected(t *testing.T) {
 		{Metric: apps.HeadlineMetric, OffsetS: 60, Value: math.NaN()},
 		{Metric: apps.HeadlineMetric, OffsetS: 60, Value: math.Inf(-1)},
 	} {
-		if msg := validateSamples("j", []wireSample{smp}); msg == "" {
+		if err := monitor.ValidateSamples("j", []wireSample{smp}); err == nil {
 			t.Errorf("validator case %d: accepted non-finite sample", i)
 		}
 	}

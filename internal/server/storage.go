@@ -1,215 +1,73 @@
-// Storage-backed mode: an optional tsdb.Store behind the server makes
-// ingest durable and finished executions re-recognizable.
-//
-// Ingest keeps its zero-dictionary-lock property — the WAL append
-// happens on the same per-job columnar runs the stream consumes, and
-// one group-commit fsync acknowledges the whole HTTP batch. Startup
-// replays the store's live jobs into fresh recognition streams, so a
-// restarted daemon answers exactly as an uninterrupted one; labelled
-// jobs become stored executions, served by GET /v1/jobs/{id}/series
-// and re-recognized on demand (POST /v1/executions/{id}/recognize)
-// after online learning has extended the dictionary.
+// Storage route handlers. The durable store itself lives behind the
+// engine (efd/monitor); these handlers only route, delegate, and map
+// errors — without a store every one of them answers 501.
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"strings"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/telemetry"
-	"repro/internal/tsdb"
+	"repro/efd/monitor"
 )
 
-// time1HzOffset is the implicit-grid offset of sample i.
-func time1HzOffset(i int) time.Duration { return time.Duration(i) * telemetry.DefaultPeriod }
-
-// AttachStore backs the server with a durable store and replays its
-// live jobs into recognition streams. Call before serving requests
-// (and after setting MaxJobs — recovery honours the cap and errors
-// rather than silently over-admitting); the server takes over all
-// writes to the store. Returns the number of jobs recovered.
-func (s *Server) AttachStore(st *tsdb.Store) (recovered int, err error) {
-	live := st.Live()
-	if len(live) > s.MaxJobs {
-		// Fail before attaching anything, so an embedder can fall back
-		// to in-memory mode without a half-attached (and possibly
-		// since-closed) store pointer behind the handlers.
-		return 0, fmt.Errorf("server: store holds %d live jobs, exceeding -max-jobs %d; raise the cap or prune the store", len(live), s.MaxJobs)
-	}
-	s.store = st
-	for _, lj := range live {
-		var stream *core.Stream
-		nodes := lj.Nodes
-		s.dict.Read(func(d *core.Dictionary) { stream = core.NewStream(d, nodes) })
-		j := &job{stream: stream, nodes: nodes, samples: lj.Samples, lastOff: lj.LastOffset}
-		// Feeding per-series runs reproduces the pre-crash stream state
-		// exactly: the window accumulators are independent per
-		// (metric, node, window) and each series' samples replay in
-		// their original order.
-		for _, run := range lj.Series {
-			j.stream.FeedRun(run.Metric, run.Node, run.Offsets, run.Values)
-		}
-		sh := s.shardFor(lj.ID)
-		sh.mu.Lock()
-		if _, exists := sh.jobs[lj.ID]; !exists {
-			sh.jobs[lj.ID] = j
-			s.jobCount.Add(1)
-			recovered++
-		}
-		sh.mu.Unlock()
-	}
-	s.met.recovered.Store(int64(recovered))
-	return recovered, nil
-}
-
-// Store returns the attached store, or nil.
-func (s *Server) Store() *tsdb.Store { return s.store }
-
-// storeMetrics is the store section of GET /v1/metrics.
-type storeMetrics struct {
-	tsdb.Stats
-	RecoveredJobs  int64 `json:"recovered_jobs"`
-	Rerecognitions int64 `json:"rerecognitions_total"`
-}
-
-type wireSeries struct {
-	Metric string `json:"metric"`
-	Node   int    `json:"node"`
-	Count  int    `json:"count"`
-	// OffsetsS is omitted for implicit-1 Hz-grid series: offset i is
-	// exactly i seconds.
-	OffsetsS []float64 `json:"offsets_s,omitempty"`
-	Values   []float64 `json:"values"`
-}
-
-type seriesResponse struct {
-	JobID string `json:"job_id"`
-	// Source is "live" (memtable snapshot of a running job) or
-	// "stored" (immutable flushed execution).
-	Source string       `json:"source"`
-	Series []wireSeries `json:"series"`
+type executionsResponse struct {
+	Executions []monitor.ExecutionInfo `json:"executions"`
+	Total      int                     `json:"total"`
 }
 
 // handleJobSeries serves GET /v1/jobs/{id}/series from the store:
-// live jobs get a snapshot of their accumulated columns, finished ones
-// their stored execution.
+// live jobs get a snapshot of their accumulated columns, finished
+// ones their stored execution.
 func (s *Server) handleJobSeries(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	if s.store == nil {
-		httpError(w, http.StatusNotImplemented, "server has no telemetry store (-data-dir)")
-		return
-	}
-	ns, live, err := s.store.Series(id)
+	dump, err := s.Series(id)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "no telemetry for job %q", id)
+		engineError(w, err)
 		return
 	}
-	out := seriesResponse{JobID: id, Source: "stored", Series: []wireSeries{}}
-	if live {
-		out.Source = "live"
-	}
-	for _, node := range ns.Nodes() {
-		for _, metric := range ns.Metrics() {
-			series := ns.Get(node, metric)
-			if series == nil {
-				continue
-			}
-			ws := wireSeries{Metric: metric, Node: node, Count: series.Len()}
-			ws.Values = make([]float64, series.Len())
-			grid := true
-			for i := 0; i < series.Len(); i++ {
-				ws.Values[i] = series.ValueAt(i)
-				if series.OffsetAt(i) != time1HzOffset(i) {
-					grid = false
-				}
-			}
-			if !grid {
-				ws.OffsetsS = make([]float64, series.Len())
-				for i := range ws.OffsetsS {
-					ws.OffsetsS[i] = series.OffsetAt(i).Seconds()
-				}
-			}
-			out.Series = append(out.Series, ws)
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, dump)
 }
 
 // handleExecutions dispatches /v1/executions and
 // /v1/executions/{id}/recognize.
 func (s *Server) handleExecutions(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
-		httpError(w, http.StatusNotImplemented, "server has no telemetry store (-data-dir)")
+	if !s.HasStore() {
+		httpError(w, http.StatusNotImplemented, codeUnimplemented, "server has no telemetry store (-data-dir)")
 		return
 	}
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/executions")
 	switch {
 	case rest == "" || rest == "/":
 		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			methodNotAllowed(w, http.MethodGet)
 			return
 		}
-		execs := s.store.Executions() // already Seq-sorted by the store
-		writeJSON(w, http.StatusOK, map[string]any{"total": len(execs), "executions": execs})
+		execs, err := s.Executions()
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, executionsResponse{Executions: execs, Total: len(execs)})
 	case strings.HasSuffix(rest, "/recognize"):
 		id := strings.TrimSuffix(strings.TrimPrefix(rest, "/"), "/recognize")
 		if id == "" || strings.Contains(id, "/") {
-			httpError(w, http.StatusNotFound, "no such route")
+			httpError(w, http.StatusNotFound, codeNotFound, "no such route")
 			return
 		}
-		s.handleRerecognize(w, r, id)
-	default:
-		httpError(w, http.StatusNotFound, "no such route")
-	}
-}
-
-// handleRerecognize re-runs recognition over a stored execution with
-// the dictionary as it stands now — the payoff of keeping telemetry:
-// labels learned after a job finished still apply to it.
-func (s *Server) handleRerecognize(w http.ResponseWriter, r *http.Request, id string) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	ns, err := s.store.ExecutionSeries(id)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "no stored execution %q", id)
-		return
-	}
-	src := core.NewTelemetrySource(ns)
-	var out jobState
-	s.dict.Read(func(d *core.Dictionary) {
-		res := d.Recognize(src)
-		out = jobState{
-			JobID:      id,
-			Complete:   true,
-			Recognized: res.Recognized(),
-			Top:        res.Top(),
-			Apps:       res.Apps,
-			Votes:      res.Votes(),
-			Confidence: res.Confidence(),
-			Matched:    res.Matched,
-			Total:      res.Total,
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, http.MethodPost)
+			return
 		}
-	})
-	s.met.rerecognitions.Add(1)
-	writeJSON(w, http.StatusOK, out)
-}
-
-// storeSection assembles the /v1/metrics store block, or nil without a
-// store.
-func (s *Server) storeSection() *storeMetrics {
-	if s.store == nil {
-		return nil
-	}
-	return &storeMetrics{
-		Stats:          s.store.Stats(),
-		RecoveredJobs:  s.met.recovered.Load(),
-		Rerecognitions: s.met.rerecognitions.Load(),
+		state, err := s.RecognizeStored(id)
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, state)
+	default:
+		httpError(w, http.StatusNotFound, codeNotFound, "no such route")
 	}
 }

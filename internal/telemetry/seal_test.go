@@ -268,8 +268,8 @@ func TestSealedWindowCostIndependentOfLength(t *testing.T) {
 	}
 	s := gridSeries(36_000, 11) // 10 hours of 1 Hz telemetry
 	s.Seal()
-	narrow := Window{Start: sec(60), End: sec(120)}     // 60 samples
-	wide := Window{Start: sec(60), End: sec(35_900)}    // ~36k samples
+	narrow := Window{Start: sec(60), End: sec(120)}  // 60 samples
+	wide := Window{Start: sec(60), End: sec(35_900)} // ~36k samples
 	time := func(w Window) float64 {
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -1,14 +1,10 @@
 package tsdb
 
 // The write-ahead log. Every mutation the store acknowledges is first
-// appended here as one CRC-framed record:
-//
-//	[4B little-endian payload length][4B CRC-32C of payload][payload]
-//
-// The payload starts with a one-byte record type. Sample runs store
-// their offsets as zigzag-varint deltas (1 Hz grids cost two bytes per
-// sample of offset) and their values as raw little-endian float64
-// bits, so replay reconstructs columns bit-exactly.
+// appended here as one CRC-framed record in the shared EFD columnar
+// binary encoding — see internal/wire for the frame and record layout
+// (the same codec the HTTP binary ingest content type speaks, so a
+// batch decoded off the network re-encodes for the WAL bit-exactly).
 //
 // Appends go through one buffered writer guarded by the store mutex;
 // Commit flushes and fsyncs once per acknowledged batch, and a
@@ -21,31 +17,30 @@ package tsdb
 
 import (
 	"bufio"
-	"encoding/binary"
-	"fmt"
-	"hash/crc32"
-	"math"
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/wire"
 )
 
 const (
 	walName        = "wal.log"
 	walQuarantine  = "wal.quarantine"
-	walMaxRecord   = 1 << 28 // frame sanity bound: no record exceeds 256 MiB
-	frameHeaderLen = 8
+	walMaxRecord   = wire.MaxRecord
+	frameHeaderLen = wire.FrameHeaderLen
 )
 
-// Record types.
+// Record types (re-exported from the shared wire codec).
 const (
-	recRegister = byte(1) // job registered: job, nodes
-	recRun      = byte(2) // sample run: job, metric, node, offsets, values
-	recFinish   = byte(3) // job finished (labelled): job, seq, label
-	recDrop     = byte(4) // job deleted outright: job
+	recRegister = wire.TypeRegister
+	recRun      = wire.TypeRun
+	recFinish   = wire.TypeFinish
+	recDrop     = wire.TypeDrop
 )
 
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+// castagnoli is the CRC-32C table shared with the segment writer.
+var castagnoli = wire.Castagnoli
 
 // wal is the appender half; replay is a free function over raw bytes.
 type wal struct {
@@ -75,8 +70,7 @@ func openWAL(path string) (*wal, error) {
 // append frames and buffers one payload. The payload is w.scratch.
 func (w *wal) append() error {
 	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(w.scratch)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(w.scratch, castagnoli))
+	wire.PutFrameHeader(hdr[:], w.scratch)
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -112,227 +106,54 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
-// --- record encoding --------------------------------------------------
-
-func appendUvarint(b []byte, v uint64) []byte {
-	var tmp [binary.MaxVarintLen64]byte
-	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
-}
-
-func appendString(b []byte, s string) []byte {
-	b = appendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
-
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
-
-func (w *wal) encodeRegister(job string, nodes int) {
-	b := append(w.scratch[:0], recRegister)
-	b = appendString(b, job)
-	w.scratch = appendUvarint(b, uint64(nodes))
-}
+// --- record encoding (thin wrappers over internal/wire) ---------------
 
 // appendRunPayload encodes one run record's payload into b. It is a
 // free function over plain buffers so the ingest path can encode
-// outside the store mutex. Offset deltas restart from zero per record,
-// so a long run split across several records decodes identically.
+// outside the store mutex.
 func appendRunPayload(b []byte, job, metric string, node int, offs []time.Duration, vals []float64) []byte {
-	b = append(b, recRun)
-	b = appendString(b, job)
-	b = appendString(b, metric)
-	b = appendUvarint(b, uint64(node))
-	b = appendUvarint(b, uint64(len(vals)))
-	prev := int64(0)
-	for _, off := range offs {
-		b = appendUvarint(b, zigzag(int64(off)-prev))
-		prev = int64(off)
-	}
-	for _, v := range vals {
-		var raw [8]byte
-		binary.LittleEndian.PutUint64(raw[:], math.Float64bits(v))
-		b = append(b, raw[:]...)
-	}
-	return b
+	return wire.AppendRun(b, job, metric, node, offs, vals)
 }
 
 // appendFramed appends the CRC frame plus payload to dst.
-func appendFramed(dst, payload []byte) []byte {
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
-	dst = append(dst, hdr[:]...)
-	return append(dst, payload...)
+func appendFramed(dst, payload []byte) []byte { return wire.AppendFrame(dst, payload) }
+
+func (w *wal) encodeRegister(job string, nodes int) {
+	w.scratch = wire.AppendRegister(w.scratch[:0], job, nodes)
 }
 
 func (w *wal) encodeRun(job, metric string, node int, offs []time.Duration, vals []float64) {
-	w.scratch = appendRunPayload(w.scratch[:0], job, metric, node, offs, vals)
+	w.scratch = wire.AppendRun(w.scratch[:0], job, metric, node, offs, vals)
 }
 
 func (w *wal) encodeFinish(job string, seq uint64, label string) {
-	b := append(w.scratch[:0], recFinish)
-	b = appendString(b, job)
-	b = appendUvarint(b, seq)
-	w.scratch = appendString(b, label)
+	w.scratch = wire.AppendFinish(w.scratch[:0], job, seq, label)
 }
 
 func (w *wal) encodeDrop(job string) {
-	b := append(w.scratch[:0], recDrop)
-	w.scratch = appendString(b, job)
+	w.scratch = wire.AppendDrop(w.scratch[:0], job)
 }
 
 // --- record decoding --------------------------------------------------
 
 // walRecord is one decoded record; only the fields of its Type are set.
-type walRecord struct {
-	Type   byte
-	Job    string
-	Metric string
-	Node   int
-	Offs   []time.Duration
-	Vals   []float64
-	Nodes  int
-	Seq    uint64
-	Label  string
-}
-
-type walDecoder struct{ b []byte }
-
-func (d *walDecoder) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(d.b)
-	if n <= 0 {
-		return 0, fmt.Errorf("tsdb: bad varint in WAL record")
-	}
-	d.b = d.b[n:]
-	return v, nil
-}
-
-func (d *walDecoder) str() (string, error) {
-	n, err := d.uvarint()
-	if err != nil {
-		return "", err
-	}
-	if n > uint64(len(d.b)) {
-		return "", fmt.Errorf("tsdb: truncated string in WAL record")
-	}
-	s := string(d.b[:n])
-	d.b = d.b[n:]
-	return s, nil
-}
-
-// decodeRecord parses one framed payload. The returned record's
-// columns are freshly allocated (they outlive the frame buffer).
-func decodeRecord(payload []byte) (walRecord, error) {
-	if len(payload) == 0 {
-		return walRecord{}, fmt.Errorf("tsdb: empty WAL record")
-	}
-	rec := walRecord{Type: payload[0]}
-	d := walDecoder{b: payload[1:]}
-	var err error
-	if rec.Job, err = d.str(); err != nil {
-		return rec, err
-	}
-	switch rec.Type {
-	case recRegister:
-		n, err := d.uvarint()
-		if err != nil {
-			return rec, err
-		}
-		if n == 0 || n > 1<<20 {
-			return rec, fmt.Errorf("tsdb: implausible node count %d", n)
-		}
-		rec.Nodes = int(n)
-	case recRun:
-		if rec.Metric, err = d.str(); err != nil {
-			return rec, err
-		}
-		node, err := d.uvarint()
-		if err != nil {
-			return rec, err
-		}
-		if node > 1<<20 {
-			return rec, fmt.Errorf("tsdb: implausible node %d", node)
-		}
-		rec.Node = int(node)
-		count, err := d.uvarint()
-		if err != nil {
-			return rec, err
-		}
-		// Every sample costs at least one offset byte and eight value
-		// bytes, so count is bounded by a ninth of the remaining
-		// payload — checked before the column allocations so a
-		// crafted length cannot balloon replay's memory.
-		if count > uint64(len(d.b))/9 {
-			return rec, fmt.Errorf("tsdb: implausible run length %d", count)
-		}
-		n := int(count)
-		rec.Offs = make([]time.Duration, n)
-		prev := int64(0)
-		for i := 0; i < n; i++ {
-			dv, err := d.uvarint()
-			if err != nil {
-				return rec, err
-			}
-			prev += unzigzag(dv)
-			rec.Offs[i] = time.Duration(prev)
-		}
-		if len(d.b) < 8*n {
-			return rec, fmt.Errorf("tsdb: truncated value column")
-		}
-		rec.Vals = make([]float64, n)
-		for i := 0; i < n; i++ {
-			rec.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:]))
-		}
-		d.b = d.b[8*n:]
-	case recFinish:
-		if rec.Seq, err = d.uvarint(); err != nil {
-			return rec, err
-		}
-		if rec.Label, err = d.str(); err != nil {
-			return rec, err
-		}
-	case recDrop:
-		// job only
-	default:
-		return rec, fmt.Errorf("tsdb: unknown WAL record type %d", rec.Type)
-	}
-	if len(d.b) != 0 {
-		return rec, fmt.Errorf("tsdb: %d trailing bytes in WAL record", len(d.b))
-	}
-	return rec, nil
-}
+type walRecord = wire.Record
 
 // replayWAL walks the log, invoking apply for every intact record, and
 // returns the byte length of the good prefix plus the number of
-// replayed records. Decoding stops at the first torn or corrupt frame;
-// the caller quarantines and truncates from there.
+// replayed records. Decoding stops at the first torn or corrupt frame
+// (a frame that passes CRC but does not decode is corruption beyond a
+// torn tail and stops replay equally); the caller quarantines and
+// truncates from there.
 func replayWAL(data []byte, apply func(walRecord)) (good int64, records int64, err error) {
-	off := 0
-	for off < len(data) {
-		if len(data)-off < frameHeaderLen {
-			return int64(off), records, fmt.Errorf("tsdb: torn frame header at %d", off)
-		}
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if n > walMaxRecord || len(data)-off-frameHeaderLen < n {
-			return int64(off), records, fmt.Errorf("tsdb: torn record at %d (%d bytes framed)", off, n)
-		}
-		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
-		if crc32.Checksum(payload, castagnoli) != crc {
-			return int64(off), records, fmt.Errorf("tsdb: CRC mismatch at %d", off)
-		}
-		rec, derr := decodeRecord(payload)
+	return wire.WalkFrames(data, func(payload []byte) error {
+		rec, derr := wire.DecodeRecord(payload)
 		if derr != nil {
-			// A frame that passes CRC but does not decode is corruption
-			// beyond a torn tail; quarantine from here too.
-			return int64(off), records, derr
+			return derr
 		}
 		apply(rec)
-		records++
-		off += frameHeaderLen + n
-	}
-	return int64(off), records, nil
+		return nil
+	})
 }
 
 // quarantineTail moves data[good:] into dir/wal.quarantine (appending

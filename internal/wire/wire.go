@@ -1,0 +1,335 @@
+// Package wire implements the EFD columnar binary encoding shared by
+// the tsdb write-ahead log and the HTTP binary ingest content type
+// (application/x-efd-runs).
+//
+// Every record travels in one CRC frame:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// The payload starts with a one-byte record type. Sample runs store
+// their offsets as zigzag-varint deltas (a 1 Hz grid costs two bytes
+// per sample of offset) and their values as raw little-endian float64
+// bits, so decoding reconstructs columns bit-exactly — the property
+// that makes binary ingest, WAL replay, and the in-memory stream state
+// interchangeable.
+//
+// The format is append-only versioned by record type: decoders reject
+// unknown types, so a new record kind is a new type byte, never a
+// silent reinterpretation of an old one.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+const (
+	// FrameHeaderLen is the byte length of the frame header.
+	FrameHeaderLen = 8
+	// MaxRecord is the frame sanity bound: no record exceeds 256 MiB.
+	MaxRecord = 1 << 28
+)
+
+// ContentTypeRuns is the HTTP media type under which framed run
+// records travel (POST /v1/samples binary ingest). It lives here with
+// the rest of the encoding so the client and server can never
+// disagree on it.
+const ContentTypeRuns = "application/x-efd-runs"
+
+// Record types.
+const (
+	TypeRegister = byte(1) // job registered: job, nodes
+	TypeRun      = byte(2) // sample run: job, metric, node, offsets, values
+	TypeFinish   = byte(3) // job finished (labelled): job, seq, label
+	TypeDrop     = byte(4) // job deleted outright: job
+)
+
+// Castagnoli is the CRC-32C table every EFD frame and segment block
+// checksum uses.
+var Castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Zigzag maps a signed delta onto the unsigned varint space.
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendRun appends one run record's payload: type byte, job, metric,
+// node, count, zigzag-varint offset deltas, raw float64 bits. Offset
+// deltas restart from zero per record, so a long run split across
+// several records decodes identically.
+func AppendRun(b []byte, job, metric string, node int, offs []time.Duration, vals []float64) []byte {
+	b = append(b, TypeRun)
+	b = AppendString(b, job)
+	b = AppendString(b, metric)
+	b = AppendUvarint(b, uint64(node))
+	b = AppendUvarint(b, uint64(len(vals)))
+	prev := int64(0)
+	for _, off := range offs {
+		b = AppendUvarint(b, Zigzag(int64(off)-prev))
+		prev = int64(off)
+	}
+	for _, v := range vals {
+		var raw [8]byte
+		binary.LittleEndian.PutUint64(raw[:], math.Float64bits(v))
+		b = append(b, raw[:]...)
+	}
+	return b
+}
+
+// AppendRegister appends a registration record's payload.
+func AppendRegister(b []byte, job string, nodes int) []byte {
+	b = append(b, TypeRegister)
+	b = AppendString(b, job)
+	return AppendUvarint(b, uint64(nodes))
+}
+
+// AppendFinish appends a finish record's payload.
+func AppendFinish(b []byte, job string, seq uint64, label string) []byte {
+	b = append(b, TypeFinish)
+	b = AppendString(b, job)
+	b = AppendUvarint(b, seq)
+	return AppendString(b, label)
+}
+
+// AppendDrop appends a drop record's payload.
+func AppendDrop(b []byte, job string) []byte {
+	b = append(b, TypeDrop)
+	return AppendString(b, job)
+}
+
+// PutFrameHeader writes the frame header (length + CRC-32C) for
+// payload into hdr, which must be at least FrameHeaderLen bytes — for
+// writers that stream the header and payload separately.
+func PutFrameHeader(hdr, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, Castagnoli))
+}
+
+// AppendFrame appends the CRC frame header plus payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [FrameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, Castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Record is one decoded record; only the fields of its Type are set.
+type Record struct {
+	Type   byte
+	Job    string
+	Metric string
+	Node   int
+	Offs   []time.Duration
+	Vals   []float64
+	Nodes  int
+	Seq    uint64
+	Label  string
+}
+
+type decoder struct{ b []byte }
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint in record")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)) {
+		return "", fmt.Errorf("wire: truncated string in record")
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s, nil
+}
+
+// decodeColumns parses the count, offset-delta, and value sections of
+// a run record, appending into the provided scratch (which may be nil).
+func (d *decoder) decodeColumns(offs []time.Duration, vals []float64) ([]time.Duration, []float64, error) {
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Every sample costs at least one offset byte and eight value
+	// bytes, so count is bounded by a ninth of the remaining payload —
+	// checked before the column allocations so a crafted length cannot
+	// balloon the decoder's memory.
+	if count > uint64(len(d.b))/9 {
+		return nil, nil, fmt.Errorf("wire: implausible run length %d", count)
+	}
+	n := int(count)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		dv, err := d.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		prev += Unzigzag(dv)
+		offs = append(offs, time.Duration(prev))
+	}
+	if len(d.b) < 8*n {
+		return nil, nil, fmt.Errorf("wire: truncated value column")
+	}
+	for i := 0; i < n; i++ {
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:])))
+	}
+	d.b = d.b[8*n:]
+	return offs, vals, nil
+}
+
+func (d *decoder) finish() error {
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in record", len(d.b))
+	}
+	return nil
+}
+
+// DecodeRecord parses one framed payload. The returned record's
+// columns are freshly allocated (they outlive the frame buffer).
+func DecodeRecord(payload []byte) (Record, error) {
+	rec, d, err := decodeHead(payload)
+	if err != nil {
+		return rec, err
+	}
+	switch rec.Type {
+	case TypeRegister:
+		n, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if n == 0 || n > 1<<20 {
+			return rec, fmt.Errorf("wire: implausible node count %d", n)
+		}
+		rec.Nodes = int(n)
+	case TypeRun:
+		if err := decodeRunBody(&rec, d); err != nil {
+			return rec, err
+		}
+	case TypeFinish:
+		if rec.Seq, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		if rec.Label, err = d.str(); err != nil {
+			return rec, err
+		}
+	case TypeDrop:
+		// job only
+	default:
+		return rec, fmt.Errorf("wire: unknown record type %d", rec.Type)
+	}
+	return rec, d.finish()
+}
+
+func decodeHead(payload []byte) (Record, *decoder, error) {
+	if len(payload) == 0 {
+		return Record{}, nil, fmt.Errorf("wire: empty record")
+	}
+	rec := Record{Type: payload[0]}
+	d := &decoder{b: payload[1:]}
+	var err error
+	if rec.Job, err = d.str(); err != nil {
+		return rec, d, err
+	}
+	return rec, d, nil
+}
+
+func decodeRunBody(rec *Record, d *decoder) error {
+	var err error
+	if rec.Metric, err = d.str(); err != nil {
+		return err
+	}
+	node, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if node > 1<<20 {
+		return fmt.Errorf("wire: implausible node %d", node)
+	}
+	rec.Node = int(node)
+	rec.Offs, rec.Vals, err = d.decodeColumns(nil, nil)
+	return err
+}
+
+// DecodeRunInto parses one run-record payload, appending the columns
+// into the provided scratch slices (reset them with [:0] between
+// calls) — the allocation-light form the server's binary ingest path
+// uses. Non-run records are an error.
+func DecodeRunInto(payload []byte, offs []time.Duration, vals []float64) (rec Record, err error) {
+	var d *decoder
+	rec, d, err = decodeHead(payload)
+	if err != nil {
+		return rec, err
+	}
+	if rec.Type != TypeRun {
+		return rec, fmt.Errorf("wire: record type %d where run expected", rec.Type)
+	}
+	if rec.Metric, err = d.str(); err != nil {
+		return rec, err
+	}
+	node, err := d.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if node > 1<<20 {
+		return rec, fmt.Errorf("wire: implausible node %d", node)
+	}
+	rec.Node = int(node)
+	if rec.Offs, rec.Vals, err = d.decodeColumns(offs, vals); err != nil {
+		return rec, err
+	}
+	return rec, d.finish()
+}
+
+// WalkFrames iterates the CRC-framed records in data, invoking apply
+// with each intact payload, and returns the byte length of the good
+// prefix plus the number of frames walked. Walking stops at the first
+// torn or corrupt frame — or at apply's first error, which is returned
+// with good pointing at the start of the frame that failed (so a WAL
+// replayer can quarantine from exactly there).
+func WalkFrames(data []byte, apply func(payload []byte) error) (good int64, frames int64, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < FrameHeaderLen {
+			return int64(off), frames, fmt.Errorf("wire: torn frame header at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxRecord || len(data)-off-FrameHeaderLen < n {
+			return int64(off), frames, fmt.Errorf("wire: torn record at %d (%d bytes framed)", off, n)
+		}
+		payload := data[off+FrameHeaderLen : off+FrameHeaderLen+n]
+		if crc32.Checksum(payload, Castagnoli) != crc {
+			return int64(off), frames, fmt.Errorf("wire: CRC mismatch at %d", off)
+		}
+		if err := apply(payload); err != nil {
+			return int64(off), frames, err
+		}
+		off += FrameHeaderLen + n
+		frames++
+	}
+	return int64(off), frames, nil
+}

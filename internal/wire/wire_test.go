@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRunRoundTrip(t *testing.T) {
+	offs := []time.Duration{0, time.Second, 3 * time.Second, 2 * time.Second} // unsorted on purpose
+	vals := []float64{1.5, -2.25, math.Inf(1), math.Copysign(0, -1)}
+	payload := AppendRun(nil, "job-1", "nr_mapped_vmstat", 3, offs, vals)
+	rec, err := DecodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != TypeRun || rec.Job != "job-1" || rec.Metric != "nr_mapped_vmstat" || rec.Node != 3 {
+		t.Fatalf("header round-trip: %+v", rec)
+	}
+	for i := range offs {
+		if rec.Offs[i] != offs[i] {
+			t.Errorf("offset %d: %v != %v", i, rec.Offs[i], offs[i])
+		}
+		if math.Float64bits(rec.Vals[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("value %d not bit-identical: %v != %v", i, rec.Vals[i], vals[i])
+		}
+	}
+}
+
+func TestLifecycleRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		payload []byte
+		check   func(Record) bool
+	}{
+		{AppendRegister(nil, "j", 4), func(r Record) bool { return r.Type == TypeRegister && r.Job == "j" && r.Nodes == 4 }},
+		{AppendFinish(nil, "j", 9, "ft_X"), func(r Record) bool { return r.Type == TypeFinish && r.Seq == 9 && r.Label == "ft_X" }},
+		{AppendDrop(nil, "j"), func(r Record) bool { return r.Type == TypeDrop && r.Job == "j" }},
+	} {
+		rec, err := DecodeRecord(c.payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.check(rec) {
+			t.Errorf("round-trip mismatch: %+v", rec)
+		}
+	}
+}
+
+func TestDecodeRunIntoReusesScratch(t *testing.T) {
+	payload := AppendRun(nil, "j", "m", 0, []time.Duration{time.Second}, []float64{7})
+	offs := make([]time.Duration, 0, 8)
+	vals := make([]float64, 0, 8)
+	rec, err := DecodeRunInto(payload, offs[:0], vals[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &rec.Offs[0] != &offs[:1][0] || &rec.Vals[0] != &vals[:1][0] {
+		t.Error("columns did not land in the caller's scratch")
+	}
+	if rec.Offs[0] != time.Second || rec.Vals[0] != 7 {
+		t.Errorf("decoded %v %v", rec.Offs, rec.Vals)
+	}
+	if _, err := DecodeRunInto(AppendDrop(nil, "j"), nil, nil); err == nil {
+		t.Error("non-run record accepted by DecodeRunInto")
+	}
+}
+
+func TestWalkFramesStopsAtCorruption(t *testing.T) {
+	var data []byte
+	data = AppendFrame(data, AppendRegister(nil, "a", 1))
+	goodLen := int64(len(data))
+	data = AppendFrame(data, AppendRegister(nil, "b", 1))
+	data[goodLen+FrameHeaderLen] ^= 0xff // corrupt second payload
+
+	var seen int
+	good, frames, err := WalkFrames(data, func([]byte) error { seen++; return nil })
+	if err == nil {
+		t.Fatal("corruption not reported")
+	}
+	if good != goodLen || frames != 1 || seen != 1 {
+		t.Fatalf("good=%d frames=%d seen=%d, want %d/1/1", good, frames, seen, goodLen)
+	}
+
+	// Torn tail: header promising more bytes than remain.
+	torn := append(append([]byte(nil), data[:goodLen]...), 0xff, 0xff)
+	good, _, err = WalkFrames(torn, func([]byte) error { return nil })
+	if err == nil || good != goodLen {
+		t.Fatalf("torn tail: good=%d err=%v", good, err)
+	}
+
+	// An apply error reports good at the failing frame's start.
+	good, _, err = WalkFrames(data[:goodLen], func([]byte) error { return errTest })
+	if err != errTest || good != 0 {
+		t.Fatalf("apply error: good=%d err=%v", good, err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test" }

@@ -9,8 +9,12 @@
 # BenchmarkLDMSIngest{,StdCSV}, BenchmarkSeriesSort) and the PR 4
 # durable-store benchmarks (BenchmarkTSDBWALAppend, BenchmarkTSDBCommit
 # — the only one timing real fsyncs — BenchmarkTSDBSegmentFlush,
-# BenchmarkTSDBMmapRead) since -bench=. matches them like every other
-# root benchmark.
+# BenchmarkTSDBMmapRead) and the PR 5 client-SDK ingest-encoding pair
+# (BenchmarkClientIngestJSON vs BenchmarkClientIngestBinary: the same
+# columnar batch end-to-end through a live HTTP server as row-form
+# JSON versus application/x-efd-runs wire frames; the binary side must
+# hold >=2x fewer allocs/op, pinned by TestClientIngestAllocRatio)
+# since -bench=. matches them like every other root benchmark.
 #
 # Usage: scripts/bench.sh [out.json]
 set -eu
