@@ -16,6 +16,12 @@
 #                    10s) over the tsdb WAL/segment decoders and the
 #                    LDMS CSV reader: every parser that consumes bytes
 #                    a crash or a rotted disk may have produced
+#   make chaos-short - seeded fault-injection chaos pass (CHAOSTIME
+#                    wall-clock per test, default 2s) over the tsdb
+#                    store and the monitor engine, with a fresh seed
+#                    each run; every failure message carries its
+#                    CHAOS_SEED, so re-running with that seed exported
+#                    reproduces the schedule exactly
 #   make bench     - benchmark smoke run with allocation reporting; also
 #                    writes machine-readable results to BENCH_<rev>.json
 #                    plus the raw text to BENCH_<rev>.txt
@@ -28,10 +34,11 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 FUZZTIME ?= 10s
+CHAOSTIME ?= 2s
 
-.PHONY: check test test-race vet fmt-check bench bench-compare fuzz-short
+.PHONY: check test test-race vet fmt-check bench bench-compare fuzz-short chaos-short
 
-check: test-race vet fmt-check
+check: test-race vet fmt-check chaos-short
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -54,6 +61,12 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentOpen$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	$(GO) test -run '^$$' -fuzz '^FuzzReadNodeCSV$$' -fuzztime $(FUZZTIME) ./internal/ldms
+
+# -count=1 defeats the test cache: each chaos run draws a fresh seed
+# from the clock, so successive runs explore different schedules. A
+# failure prints CHAOS_SEED=...; export it to replay that schedule.
+chaos-short:
+	CHAOS_TIME=$(CHAOSTIME) $(GO) test -race -count=1 -run 'Chaos' ./internal/tsdb ./efd/monitor
 
 bench:
 	./scripts/bench.sh "BENCH_$(REV).json"

@@ -40,6 +40,7 @@ import (
 	"repro/efd/monitor"
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -63,6 +64,9 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		maxJobs  = fs.Int("max-jobs", 4096, "maximum concurrently tracked jobs")
 		savePath = fs.String("save", "", "path to re-save the dictionary on graceful shutdown (labels learned online are lost without it; typically the -dict path)")
 		dataDir  = fs.String("data-dir", "", "durable telemetry store directory (WAL + segment files); jobs and their telemetry survive restarts")
+
+		maxIngestMB      = fs.Int("max-ingest-mb", 64, "ingest admission cap: in-flight payload megabytes across concurrent requests; exceeding it sheds with 429 + Retry-After (-1: unlimited)")
+		maxIngestBatches = fs.Int("max-ingest-batches", 256, "ingest admission cap: concurrent in-flight ingest requests (-1: unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -89,19 +93,40 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 	// efd/monitor.
 	eng := monitor.New(dict)
 	eng.MaxJobs = *maxJobs
+	if *maxIngestMB < 0 {
+		eng.MaxIngestBytes = -1
+	} else if *maxIngestMB > 0 {
+		eng.MaxIngestBytes = int64(*maxIngestMB) << 20
+	}
+	if *maxIngestBatches != 0 {
+		eng.MaxIngestBatches = *maxIngestBatches
+	}
 	srv := server.NewEngine(eng)
 
 	if *dataDir != "" {
 		recovered, err := eng.OpenStore(*dataDir, monitor.StoreOptions{})
 		if err != nil {
+			if errors.Is(err, tsdb.ErrLocked) {
+				// The flock is per-directory, so this is almost always a
+				// second efdd pointed at the same -data-dir. Name the
+				// condition plainly; the generic wrapped error reads like
+				// corruption.
+				return fmt.Errorf("data directory %s is locked by another efdd process (or one that did not exit); refusing to share a telemetry store", *dataDir)
+			}
 			return fmt.Errorf("open telemetry store: %w", err)
 		}
 		st := eng.Stats().Store
 		fmt.Fprintf(out, "efdd: telemetry store %s — %d jobs recovered, %d stored executions, %d segments\n",
 			*dataDir, recovered, st.Executions, st.Segments)
 		if st.QuarantinedWALBytes > 0 || st.QuarantinedSegments > 0 {
-			fmt.Fprintf(out, "efdd: store recovery quarantined %d WAL bytes, %d segments (see %s)\n",
-				st.QuarantinedWALBytes, st.QuarantinedSegments, *dataDir)
+			fmt.Fprintf(out, "efdd: store recovery quarantined %d WAL bytes, %d segments\n",
+				st.QuarantinedWALBytes, st.QuarantinedSegments)
+		}
+		// List every quarantine artifact — this run's and any earlier
+		// one's — so an operator tailing the startup log knows exactly
+		// which files hold the evidence and how much of it there is.
+		for _, q := range quarantineFiles(*dataDir) {
+			fmt.Fprintf(out, "efdd: quarantined file %s (%d bytes)\n", q.path, q.size)
 		}
 	}
 
@@ -120,10 +145,15 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
-		// Bound slow clients so a trickled header or abandoned
-		// keep-alive cannot pin connection goroutines forever.
+		// Bound slow clients so a trickled header, a drip-fed body, or
+		// an abandoned keep-alive cannot pin connection goroutines
+		// forever. The read/write bounds are generous — a full batch
+		// upload over a congested link fits in a minute — but finite.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
 		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -168,6 +198,36 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		fmt.Fprintf(out, "efdd: dictionary saved to %s\n", *savePath)
 	}
 	return exitErr
+}
+
+// quarantineFile is one crash-recovery artifact in the data directory.
+type quarantineFile struct {
+	path string
+	size int64
+}
+
+// quarantineFiles lists the store's quarantine artifacts: the torn-WAL
+// tail (wal.quarantine) and checksum-failed segments (*.corrupt). Scan
+// errors are swallowed — this is best-effort startup logging, and the
+// store itself already opened successfully.
+func quarantineFiles(dir string) []quarantineFile {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []quarantineFile
+	for _, ent := range ents {
+		name := ent.Name()
+		if name != "wal.quarantine" && filepath.Ext(name) != ".corrupt" {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, quarantineFile{path: filepath.Join(dir, name), size: info.Size()})
+	}
+	return out
 }
 
 // saveDictionary writes the (possibly online-extended) dictionary

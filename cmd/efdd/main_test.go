@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/tsdb"
 )
 
 type flatSource struct {
@@ -275,6 +277,108 @@ func TestRestartRecoversIngestedJobs(t *testing.T) {
 			t.Fatal("daemon did not shut down")
 		}
 	}
+}
+
+// TestLockedDataDir: pointing a second efdd at a live data directory
+// must fail fast with a message that names the real condition (another
+// process holds the flock), not a generic store-open error.
+func TestLockedDataDir(t *testing.T) {
+	dir := t.TempDir()
+	dictPath := writeTestDict(t, dir)
+	dataDir := filepath.Join(dir, "store")
+
+	st, err := tsdb.Open(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	err = run(context.Background(),
+		[]string{"-dict", dictPath, "-addr", "127.0.0.1:0", "-data-dir", dataDir},
+		io.Discard, nil)
+	if err == nil {
+		t.Fatal("second daemon on a locked data dir: want error")
+	}
+	if !strings.Contains(err.Error(), "locked by another efdd process") {
+		t.Errorf("lock-conflict error %q does not name the condition", err)
+	}
+}
+
+// TestQuarantineStartupLog: quarantine artifacts in the data directory
+// are listed at startup, each with its full path and byte count.
+func TestQuarantineStartupLog(t *testing.T) {
+	dir := t.TempDir()
+	dictPath := writeTestDict(t, dir)
+	dataDir := filepath.Join(dir, "store")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Plant artifacts from a hypothetical earlier recovery: the store
+	// ignores both names, the startup log must not.
+	qPath := filepath.Join(dataDir, "wal.quarantine")
+	cPath := filepath.Join(dataDir, "000042.seg.corrupt")
+	if err := os.WriteFile(qPath, make([]byte, 123), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cPath, make([]byte, 456), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	started := make(chan string, 1)
+	go func() {
+		done <- run(ctx, []string{"-dict", dictPath, "-addr", "127.0.0.1:0", "-data-dir", dataDir},
+			&out, func(a string) { started <- a })
+	}()
+	select {
+	case <-started:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	log := out.String()
+	for _, want := range []string{
+		"quarantined file " + qPath + " (123 bytes)",
+		"quarantined file " + cPath + " (456 bytes)",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("startup log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// writeTestDict saves a two-node single-label dictionary into dir and
+// returns its path.
+func writeTestDict(t *testing.T, dir string) string {
+	t.Helper()
+	d, err := core.NewDictionary(core.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Learn(flatSource{nodes: 2, level: 6000}, apps.Label{App: "ft", Input: apps.InputX})
+	path := filepath.Join(dir, "dict.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
 }
 
 // TestRunBadFlagsAndMissingDict covers the error paths of run.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/rand"
+	"net/http"
 	"sync"
 	"time"
 
@@ -34,6 +36,16 @@ type BatchWriterConfig struct {
 	// order within each (metric, node) run, exactly like the server's
 	// own JSON regrouping.
 	Columnar bool
+	// OverloadRetries bounds the re-sends of a buffer the server shed
+	// with 429 (or answered 503): up to this many retries after the
+	// first attempt, honouring the server's Retry-After hint when given
+	// and an exponential jittered backoff otherwise. Default 3;
+	// negative disables overload retries.
+	OverloadRetries int
+	// OverloadBackoff is the base of the overload backoff schedule:
+	// attempt n sleeps about base<<n, jittered ±25% so a fleet of
+	// feeders shed together does not retry together. Default 500 ms.
+	OverloadBackoff time.Duration
 	// OnError, when set, receives asynchronous flush errors (timer-
 	// and size-triggered flushes). Regardless, the first error is
 	// retained and returned by the next Flush or Close.
@@ -178,14 +190,70 @@ func (w *BatchWriter) dispatch(batches []monitor.Batch) {
 	}()
 }
 
-// send posts one buffer, columnar or JSON.
+// send posts one buffer, columnar or JSON, retrying when the server
+// sheds it as overloaded.
 func (w *BatchWriter) send(batches []monitor.Batch) error {
+	return w.sendRetry(w.cfg.Context, batches)
+}
+
+// sendRetry posts one buffer, re-sending on overload (429/503) up to
+// OverloadRetries times. Re-sending a shed batch cannot double-feed:
+// the server rejected it before decoding anything.
+func (w *BatchWriter) sendRetry(ctx context.Context, batches []monitor.Batch) error {
+	retries := w.cfg.OverloadRetries
+	if retries == 0 {
+		retries = 3
+	}
+	base := w.cfg.OverloadBackoff
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		err := w.sendOnce(ctx, batches)
+		if err == nil || attempt >= retries || !overloaded(err) {
+			return err
+		}
+		select {
+		case <-time.After(overloadDelay(err, base, attempt)):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// sendOnce posts one buffer.
+func (w *BatchWriter) sendOnce(ctx context.Context, batches []monitor.Batch) error {
 	if w.cfg.Columnar {
-		_, err := w.c.IngestRuns(w.cfg.Context, regroup(batches))
+		_, err := w.c.IngestRuns(ctx, regroup(batches))
 		return err
 	}
-	_, err := w.c.IngestBatches(w.cfg.Context, batches)
+	_, err := w.c.IngestBatches(ctx, batches)
 	return err
+}
+
+// overloaded reports a shed request: the engine's admission gate (429)
+// or a proxy in front of it (503). Both promise a later retry can
+// succeed.
+func overloaded(err error) bool {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.StatusCode == http.StatusTooManyRequests ||
+		apiErr.StatusCode == http.StatusServiceUnavailable
+}
+
+// overloadDelay picks the sleep before re-sending a shed buffer: the
+// server's Retry-After when it gave one, the exponential schedule
+// otherwise — jittered ±25% either way, so feeders shed in the same
+// instant spread their retries out.
+func overloadDelay(err error, base time.Duration, attempt int) time.Duration {
+	d := base << attempt
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > 0 {
+		d = apiErr.RetryAfter
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
 }
 
 // regroup converts buffered row-form samples into columnar runs,
@@ -248,11 +316,7 @@ func (w *BatchWriter) Flush(ctx context.Context) error {
 		w.sem <- struct{}{}
 		func() {
 			defer func() { <-w.sem }()
-			if w.cfg.Columnar {
-				_, sendErr = w.c.IngestRuns(ctx, regroup(batches))
-			} else {
-				_, sendErr = w.c.IngestBatches(ctx, batches)
-			}
+			sendErr = w.sendRetry(ctx, batches)
 		}()
 	}
 	w.barrier()

@@ -34,6 +34,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -79,6 +80,21 @@ func WithRetry(max int, base time.Duration) Option {
 // WithBinaryIngest selects the IngestRuns wire encoding.
 func WithBinaryIngest(mode BinaryMode) Option { return func(c *Client) { c.binary = mode } }
 
+// WithCircuitBreaker arms a client-wide circuit breaker: after
+// threshold consecutive failed requests (connection errors, 5xx, 429)
+// the client fast-fails every call with ErrCircuitOpen for the
+// cooldown, then lets requests probe again — a success closes the
+// circuit, another failure re-opens it. Off by default: a breaker in
+// front of a monitoring service is a policy choice (a tripped breaker
+// drops telemetry on the floor), so callers opt in.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if threshold > 0 && cooldown > 0 {
+			c.br = &breaker{threshold: threshold, cooldown: cooldown}
+		}
+	}
+}
+
 // Client is a typed client of one EFD monitoring server. It is safe
 // for concurrent use; all calls share one connection pool.
 type Client struct {
@@ -87,6 +103,7 @@ type Client struct {
 	maxRetries  int
 	backoffBase time.Duration
 	binary      BinaryMode
+	br          *breaker // nil unless WithCircuitBreaker
 
 	// binaryOK memoizes the negotiation outcome in BinaryAuto mode:
 	// 0 untried, 1 supported, -1 rejected (JSON from now on).
@@ -114,6 +131,44 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
+// ErrCircuitOpen is the fast-fail of a tripped circuit breaker (see
+// WithCircuitBreaker): the request was not sent.
+var ErrCircuitOpen = errors.New("efd: circuit breaker open")
+
+// breaker is a consecutive-failure circuit breaker shared by all of a
+// client's requests.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a request may go out. Once the cooldown
+// expires the breaker is half-open: requests flow again while fails
+// stays at the threshold, so the first failed probe re-opens it and
+// the first success closes it.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails < b.threshold || !time.Now().Before(b.openUntil)
+}
+
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+	}
+}
+
 // APIError is a non-2xx response, carrying the envelope's
 // machine-readable code. Legacy servers without the envelope yield
 // Code "" with the raw message.
@@ -121,6 +176,10 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RetryAfter is the server's Retry-After hint (integer seconds),
+	// zero when absent. Sent with 429 when the ingest admission gate
+	// sheds the request.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -185,6 +244,9 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			case <-time.After(backoff):
 			}
 		}
+		if c.br != nil && !c.br.allow() {
+			return ErrCircuitOpen
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -198,6 +260,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			c.recordOutcome(false)
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -207,9 +270,13 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		raw, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
+			c.recordOutcome(false)
 			lastErr = err
 			continue
 		}
+		// The breaker counts "is the service in trouble" signals — 5xx
+		// and shed ingest — not caller mistakes like a 404 or 400.
+		c.recordOutcome(resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests)
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 			if out == nil {
 				return nil
@@ -217,12 +284,21 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			return json.Unmarshal(raw, out)
 		}
 		apiErr := decodeAPIError(resp.StatusCode, raw)
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			apiErr.RetryAfter = time.Duration(s) * time.Second
+		}
 		if !retryable(resp.StatusCode) {
 			return apiErr
 		}
 		lastErr = apiErr
 	}
 	return lastErr
+}
+
+func (c *Client) recordOutcome(ok bool) {
+	if c.br != nil {
+		c.br.record(ok)
+	}
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
@@ -297,8 +373,43 @@ func (c *Client) Ingest(ctx context.Context, jobID string, samples []monitor.Sam
 }
 
 // IngestBatches feeds samples for several jobs in one request (one
-// shard lock and one durable fsync server-side).
+// shard lock and one durable fsync server-side). A request the server
+// rejects as too large (413) is bisected and re-sent as smaller
+// requests, in order, transparently — the result reports the combined
+// outcome. Only a single sample too large on its own surfaces the 413.
 func (c *Client) IngestBatches(ctx context.Context, batches []monitor.Batch) (IngestResult, error) {
+	out, err := c.ingestBatchesOnce(ctx, batches)
+	if !entityTooLarge(err) {
+		return out, err
+	}
+	left, right, ok := splitBatches(batches)
+	if !ok {
+		return out, err
+	}
+	return c.ingestHalves(
+		func() (IngestResult, error) { return c.IngestBatches(ctx, left) }, batchIDs(left),
+		func() (IngestResult, error) { return c.IngestBatches(ctx, right) }, batchIDs(right),
+	)
+}
+
+func batchIDs(batches []monitor.Batch) []string {
+	ids := make([]string, len(batches))
+	for i, b := range batches {
+		ids[i] = b.JobID
+	}
+	return ids
+}
+
+func runBatchIDs(batches []monitor.RunBatch) []string {
+	ids := make([]string, len(batches))
+	for i, b := range batches {
+		ids[i] = b.JobID
+	}
+	return ids
+}
+
+// ingestBatchesOnce is one multi-job JSON ingest request, unsplit.
+func (c *Client) ingestBatchesOnce(ctx context.Context, batches []monitor.Batch) (IngestResult, error) {
 	in := struct {
 		Batches []monitor.Batch `json:"batches"`
 	}{batches}
@@ -307,10 +418,128 @@ func (c *Client) IngestBatches(ctx context.Context, batches []monitor.Batch) (In
 	return out, err
 }
 
+// entityTooLarge reports a 413: the request body exceeded the
+// server's limit and a smaller request may well succeed.
+func entityTooLarge(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusRequestEntityTooLarge
+}
+
+// splitBatches bisects an ingest payload: across batches when there
+// are several, across one batch's samples otherwise. Reports ok=false
+// when there is nothing left to split (a single sample).
+func splitBatches(batches []monitor.Batch) (left, right []monitor.Batch, ok bool) {
+	if len(batches) > 1 {
+		mid := len(batches) / 2
+		return batches[:mid], batches[mid:], true
+	}
+	if len(batches) == 1 && len(batches[0].Samples) > 1 {
+		b := batches[0]
+		mid := len(b.Samples) / 2
+		return []monitor.Batch{{JobID: b.JobID, Samples: b.Samples[:mid]}},
+			[]monitor.Batch{{JobID: b.JobID, Samples: b.Samples[mid:]}}, true
+	}
+	return nil, nil, false
+}
+
+// ingestHalves sends the two halves of a bisected payload in order
+// (preserving per-series sample order server-side) and merges their
+// results. A failed left half stops before the right, so the caller
+// can reason about how far the ingest got.
+//
+// A half made up entirely of unknown jobs draws the all-unknown 404
+// even though the whole payload would not have; that half's job IDs
+// are folded back into Unknown so the caller sees the whole-payload
+// contract. (The corner where EVERY job is unknown then reports via
+// Unknown rather than the 404 — the information is the same.)
+func (c *Client) ingestHalves(left func() (IngestResult, error), leftIDs []string, right func() (IngestResult, error), rightIDs []string) (IngestResult, error) {
+	lout, lerr := left()
+	if allUnknown(lerr) {
+		lout, lerr = IngestResult{Unknown: leftIDs}, nil
+	}
+	if lerr != nil {
+		return lout, lerr
+	}
+	rout, rerr := right()
+	if allUnknown(rerr) {
+		rout, rerr = IngestResult{Unknown: rightIDs}, nil
+	}
+	return mergeIngestResults(lout, rout), rerr
+}
+
+// allUnknown reports the ingest 404: every job in the request was
+// unknown. Nothing else on /v1/samples answers 404.
+func allUnknown(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound
+}
+
+// mergeIngestResults combines two half-payload outcomes: accepted
+// counts add, unknown-job lists union (sorted, deduplicated — both
+// halves usually name the same unknown job).
+func mergeIngestResults(a, b IngestResult) IngestResult {
+	out := IngestResult{Accepted: a.Accepted + b.Accepted}
+	seen := make(map[string]bool)
+	for _, id := range append(append([]string(nil), a.Unknown...), b.Unknown...) {
+		if !seen[id] {
+			seen[id] = true
+			out.Unknown = append(out.Unknown, id)
+		}
+	}
+	sort.Strings(out.Unknown)
+	return out
+}
+
 // IngestRuns feeds columnar runs — the cheapest ingest form. With
 // BinaryAuto (default) the binary encoding is negotiated on first
-// use; see the package comment.
+// use; see the package comment. Oversized requests (413) bisect and
+// re-send like IngestBatches — across batches, then runs, then within
+// a run's columns.
 func (c *Client) IngestRuns(ctx context.Context, batches []monitor.RunBatch) (IngestResult, error) {
+	out, err := c.ingestRunsNegotiated(ctx, batches)
+	if !entityTooLarge(err) {
+		return out, err
+	}
+	left, right, ok := splitRunBatches(batches)
+	if !ok {
+		return out, err
+	}
+	return c.ingestHalves(
+		func() (IngestResult, error) { return c.IngestRuns(ctx, left) }, runBatchIDs(left),
+		func() (IngestResult, error) { return c.IngestRuns(ctx, right) }, runBatchIDs(right),
+	)
+}
+
+// splitRunBatches bisects a columnar payload: across batches, then
+// across one batch's runs, then across a lone run's sample columns.
+func splitRunBatches(batches []monitor.RunBatch) (left, right []monitor.RunBatch, ok bool) {
+	if len(batches) > 1 {
+		mid := len(batches) / 2
+		return batches[:mid], batches[mid:], true
+	}
+	if len(batches) != 1 {
+		return nil, nil, false
+	}
+	b := batches[0]
+	if len(b.Runs) > 1 {
+		mid := len(b.Runs) / 2
+		return []monitor.RunBatch{{JobID: b.JobID, Runs: b.Runs[:mid]}},
+			[]monitor.RunBatch{{JobID: b.JobID, Runs: b.Runs[mid:]}}, true
+	}
+	if len(b.Runs) == 1 && len(b.Runs[0].Values) > 1 {
+		run := b.Runs[0]
+		mid := len(run.Values) / 2
+		lr := monitor.Run{Metric: run.Metric, Node: run.Node, Offsets: run.Offsets[:mid], Values: run.Values[:mid]}
+		rr := monitor.Run{Metric: run.Metric, Node: run.Node, Offsets: run.Offsets[mid:], Values: run.Values[mid:]}
+		return []monitor.RunBatch{{JobID: b.JobID, Runs: []monitor.Run{lr}}},
+			[]monitor.RunBatch{{JobID: b.JobID, Runs: []monitor.Run{rr}}}, true
+	}
+	return nil, nil, false
+}
+
+// ingestRunsNegotiated is one columnar ingest, unsplit, with the
+// binary/JSON negotiation.
+func (c *Client) ingestRunsNegotiated(ctx context.Context, batches []monitor.RunBatch) (IngestResult, error) {
 	mode := c.binary
 	if mode == BinaryAuto && c.binaryOK.Load() < 0 {
 		mode = BinaryNever

@@ -1,0 +1,59 @@
+package client
+
+// Goroutine-leak check: BatchWriter.Close must reap the interval
+// flusher and every in-flight sender. Run under -race.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/efd/monitor"
+)
+
+func TestBatchWriterCloseNoLeak(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"accepted":1}`)
+	}))
+	defer ts.Close()
+	// Keep-alives off: idle connection goroutines would otherwise
+	// linger past Close and muddy the count.
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	c := New(ts.URL, WithHTTPClient(hc))
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		w := c.NewBatchWriter(BatchWriterConfig{
+			FlushInterval: time.Millisecond, // ticker goroutine definitely running
+			FlushSamples:  2,                // size-triggered async sends too
+			MaxInFlight:   4,
+		})
+		for k := 0; k < 20; k++ {
+			if err := w.Add("j", monitor.Sample{Metric: "m", OffsetS: float64(k), Value: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Closed means closed: the writer refuses further work.
+		if err := w.Add("j", monitor.Sample{}); err != ErrWriterClosed {
+			t.Fatalf("Add after Close = %v, want ErrWriterClosed", err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:n])
+}

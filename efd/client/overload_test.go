@@ -1,0 +1,244 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/efd/monitor"
+)
+
+// TestIngestSplitsOn413: a batch the server rejects as too large is
+// bisected and re-sent transparently; every sample still lands, in
+// order, and unknown jobs are still reported.
+func TestIngestSplitsOn413(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		srv, c := newFixture(t)
+		srv.MaxBodyBytes = 512 // any full-window batch far exceeds this
+		ctx := context.Background()
+		if err := c.Register(ctx, "big", 2); err != nil {
+			t.Fatal(err)
+		}
+		var (
+			res IngestResult
+			err error
+		)
+		if columnar {
+			res, err = c.IngestRuns(ctx, []monitor.RunBatch{
+				{JobID: "big", Runs: flatRuns(6000, 2)},
+				{JobID: "ghost", Runs: flatRuns(1, 1)},
+			})
+		} else {
+			res, err = c.IngestBatches(ctx, []monitor.Batch{
+				{JobID: "big", Samples: flatSamples(6000, 2)},
+				{JobID: "ghost", Samples: flatSamples(1, 1)},
+			})
+		}
+		if err != nil {
+			t.Fatalf("columnar=%v split ingest: %v", columnar, err)
+		}
+		if want := len(flatSamples(6000, 2)); res.Accepted != want {
+			t.Errorf("columnar=%v accepted %d of %d samples", columnar, res.Accepted, want)
+		}
+		if len(res.Unknown) != 1 || res.Unknown[0] != "ghost" {
+			t.Errorf("columnar=%v unknown = %v, want [ghost]", columnar, res.Unknown)
+		}
+		// The split fed samples in order: the full window arrived and
+		// the job recognizes.
+		st, err := c.Result(ctx, "big")
+		if err != nil || !st.Complete || st.Top != "ft" {
+			t.Errorf("columnar=%v post-split state: %+v, %v", columnar, st, err)
+		}
+	}
+}
+
+// TestIngestSplitGivesUpOnSingleSample: when even one sample is too
+// large there is nothing left to bisect and the 413 surfaces.
+func TestIngestSplitGivesUpOnSingleSample(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		fmt.Fprint(w, `{"error":{"code":"payload_too_large","message":"no"}}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	var apiErr *APIError
+	one := []monitor.Batch{{JobID: "j", Samples: flatSamples(1, 1)[:1]}}
+	if _, err := c.IngestBatches(ctx, one); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("single-sample 413 = %v", err)
+	}
+	oneRun := []monitor.RunBatch{{JobID: "j", Runs: []monitor.Run{{
+		Metric: "m", Node: 0, Offsets: []time.Duration{0}, Values: []float64{1},
+	}}}}
+	if _, err := c.IngestRuns(ctx, oneRun); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("single-sample columnar 413 = %v", err)
+	}
+	// log2(1) splits: exactly one request per call.
+	if got := requests.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2 (no futile re-splitting)", got)
+	}
+}
+
+// TestRetryAfterParsing: the server's Retry-After hint rides along on
+// the APIError.
+func TestRetryAfterParsing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":{"code":"overloaded","message":"shed"}}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Ingest(context.Background(), "j", flatSamples(1, 1)[:1])
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.Code != "overloaded" {
+		t.Errorf("error = %+v", apiErr)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+}
+
+// TestCircuitBreaker: consecutive failures trip the breaker (requests
+// stop reaching the server), the cooldown half-opens it, and a
+// success closes it again.
+func TestCircuitBreaker(t *testing.T) {
+	var fail atomic.Bool
+	var requests atomic.Int64
+	fail.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		if fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(0, 0), WithCircuitBreaker(2, 50*time.Millisecond))
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		var apiErr *APIError
+		if err := c.Health(ctx); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d = %v", i, err)
+		}
+	}
+	before := requests.Load()
+	if err := c.Health(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("tripped breaker = %v, want ErrCircuitOpen", err)
+	}
+	if got := requests.Load(); got != before {
+		t.Errorf("open breaker let a request through (%d -> %d)", before, got)
+	}
+
+	// Cooldown passes, the service recovers: the half-open probe
+	// succeeds and the breaker closes.
+	fail.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("closed breaker: %v", err)
+	}
+}
+
+// TestCircuitBreakerReopens: a failed half-open probe re-opens the
+// breaker immediately.
+func TestCircuitBreakerReopens(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(0, 0), WithCircuitBreaker(1, 40*time.Millisecond))
+	ctx := context.Background()
+
+	var apiErr *APIError
+	if err := c.Health(ctx); !errors.As(err, &apiErr) {
+		t.Fatalf("first failure = %v", err)
+	}
+	if err := c.Health(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want open, got %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Health(ctx); !errors.As(err, &apiErr) {
+		t.Fatalf("half-open probe = %v, want the 503 through", err)
+	}
+	if err := c.Health(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe left the breaker closed: %v", err)
+	}
+}
+
+// TestBatchWriterOverloadRetry: a shed flush (429) is re-sent after a
+// backoff and succeeds once the server has capacity again; nothing is
+// lost and nothing is double-fed.
+func TestBatchWriterOverloadRetry(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // "soon": exercises the backoff path with no forced 1s sleep
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"shed"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"accepted":3}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	w := c.NewBatchWriter(BatchWriterConfig{OverloadBackoff: time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if err := w.Add("j", monitor.Sample{Metric: "m", OffsetS: float64(i), Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(context.Background()); err != nil {
+		t.Fatalf("flush across overload: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := requests.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (2 shed + 1 accepted)", got)
+	}
+}
+
+// TestBatchWriterOverloadRetriesDisabled: negative OverloadRetries
+// surfaces the 429 on the first shed.
+func TestBatchWriterOverloadRetriesDisabled(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":{"code":"overloaded","message":"shed"}}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	w := c.NewBatchWriter(BatchWriterConfig{OverloadRetries: -1})
+	if err := w.Add("j", monitor.Sample{Metric: "m", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Flush(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("flush = %v, want the 429 through", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := requests.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (retries disabled)", got)
+	}
+}

@@ -1,0 +1,194 @@
+package monitor
+
+// Seeded chaos soak for the engine: concurrent feeders and readers
+// while the backing store is repeatedly poisoned (permanent injected
+// EIO) and healed. Invariants, across every fault cycle:
+//
+//  1. No ingest, register, or read EVER returns an error — degradation
+//     is invisible to callers (memory-only mode absorbs the outage).
+//  2. No panics and no data races (run under -race).
+//  3. After the final heal the probe returns the engine to healthy and
+//     the reopen counters prove the round-trips happened.
+//
+// CHAOS_SEED pins the schedule; CHAOS_TIME bounds the soak length.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+	"repro/internal/vfs"
+)
+
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return time.Now().UnixNano()
+}
+
+func chaosBudget(t *testing.T, def time.Duration) time.Duration {
+	t.Helper()
+	if s := os.Getenv("CHAOS_TIME"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad CHAOS_TIME %q: %v", s, err)
+		}
+		return d
+	}
+	return def
+}
+
+// TestChaosMonitorSoak drives the engine from several goroutines while
+// the main loop cycles the store through poison -> degraded -> heal ->
+// healthy. Any error anywhere fails the soak.
+func TestChaosMonitorSoak(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("CHAOS_SEED=%d", seed)
+	budget := chaosBudget(t, 2*time.Second)
+
+	fs := vfs.NewFault(vfs.OS{}, seed)
+	st, err := tsdb.OpenOptions(t.TempDir(), tsdb.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(testDict(t))
+	e.StoreProbeInterval = 5 * time.Millisecond
+	if _, err := e.AttachStore(st); err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var (
+		stop    atomic.Bool
+		ingests atomic.Int64
+		reads   atomic.Int64
+		mu      sync.Mutex
+		fails   []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		if len(fails) < 10 {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	const feeders = 4
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for n := 0; !stop.Load(); n++ {
+				id := fmt.Sprintf("soak-%d-%d", f, n)
+				jb, err := e.Register(id, 2)
+				if err != nil {
+					fail("feeder %d: Register(%s): %v", f, id, err)
+					return
+				}
+				for upTo := 10; upTo <= 40 && !stop.Load(); upTo += 10 {
+					if _, err := jb.Ingest(flat(6000, 2, upTo)); err != nil {
+						fail("feeder %d: Ingest(%s): %v", f, id, err)
+						return
+					}
+					ingests.Add(1)
+				}
+				if _, err := jb.Result(); err != nil {
+					fail("feeder %d: Result(%s): %v", f, id, err)
+					return
+				}
+				// Recycle: keep the job table bounded across the soak.
+				if err := jb.Close(); err != nil {
+					fail("feeder %d: Close(%s): %v", f, id, err)
+					return
+				}
+			}
+		}(f)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if h := e.Health(); h.Status == "" {
+					fail("reader %d: empty health status", r)
+					return
+				}
+				if _, err := e.Jobs(0, 5); err != nil {
+					fail("reader %d: Jobs: %v", r, err)
+					return
+				}
+				if _, err := e.Executions(); err != nil {
+					fail("reader %d: Executions: %v", r, err)
+					return
+				}
+				e.Stats()
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	// Fault cycles: poison until the engine degrades, heal until the
+	// probe brings it back. At least two full cycles regardless of
+	// budget; more while time remains.
+	deadline := time.Now().Add(budget)
+	waitStatus := func(want string, what string) bool {
+		end := time.Now().Add(5 * time.Second)
+		for time.Now().Before(end) && !stop.Load() {
+			if e.Health().Status == want {
+				return true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if !stop.Load() {
+			fail("CHAOS_SEED=%d: timed out waiting for %s", seed, what)
+		}
+		return false
+	}
+	cycles := 0
+	for (cycles < 2 || time.Now().Before(deadline)) && !stop.Load() {
+		time.Sleep(20 * time.Millisecond) // healthy traffic
+		fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.EIO})
+		if !waitStatus(StatusDegraded, "degradation") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond) // degraded traffic
+		fs.Reset()
+		if !waitStatus(StatusHealthy, "probe reopen") {
+			break
+		}
+		cycles++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	for _, f := range fails {
+		t.Errorf("CHAOS_SEED=%d: %s", seed, f)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	h := e.Health()
+	if h.Status != StatusHealthy {
+		t.Fatalf("CHAOS_SEED=%d: final health = %q after %d cycles", seed, h.Status, cycles)
+	}
+	if int(h.StoreReopens) < cycles {
+		t.Fatalf("CHAOS_SEED=%d: %d reopens recorded across %d cycles", seed, h.StoreReopens, cycles)
+	}
+	t.Logf("chaos soak: %d cycles, %d ingests, %d reads, %d store reopens",
+		cycles, ingests.Load(), reads.Load(), h.StoreReopens)
+}

@@ -1,0 +1,323 @@
+package monitor
+
+// Graceful-degradation tests: the store poisons itself under the
+// engine (injected fsync failures, ENOSPC) and the engine must keep
+// serving — ingest succeeds memory-only, every read keeps answering,
+// health reports degraded with the triggering error, and the
+// background probe returns the engine to durable mode once the fault
+// clears.
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+	"repro/internal/vfs"
+)
+
+// attachFaultStore opens a tsdb store in dir through a Fault fs and
+// attaches it to a fresh engine with a fast probe.
+func attachFaultStore(t *testing.T, dir string) (*Engine, *vfs.Fault) {
+	t.Helper()
+	fs := vfs.NewFault(vfs.OS{}, 1)
+	st, err := tsdb.OpenOptions(dir, tsdb.Options{FS: fs, NoSync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(testDict(t))
+	e.StoreProbeInterval = 5 * time.Millisecond
+	if _, err := e.AttachStore(st); err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	return e, fs
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestDegradeOnStorePoisoning is the headline degradation contract:
+// an fsync failure poisons the store; the very ingest that hit it is
+// still acknowledged (memory-only), later ingest and every read keep
+// working, and health reports degraded with the triggering error.
+func TestDegradeOnStorePoisoning(t *testing.T) {
+	e, fs := attachFaultStore(t, t.TempDir())
+	defer e.Close()
+
+	jb, err := e.Register("victim", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Ingest(flat(6000, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Health().Status; got != StatusHealthy {
+		t.Fatalf("pre-fault health = %q", got)
+	}
+
+	// Permanent fsync failure: the next commit poisons the store.
+	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.EIO})
+	n, err := jb.Ingest(flat(6000, 2, 20))
+	if err != nil {
+		t.Fatalf("ingest across the poisoning failed: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("poisoned-commit ingest accepted nothing")
+	}
+
+	h := e.Health()
+	if h.Status != StatusDegraded {
+		t.Fatalf("health = %q, want degraded", h.Status)
+	}
+	if h.Error == "" {
+		t.Error("degraded health carries no error")
+	}
+	if got := e.Stats().Health; got != StatusDegraded {
+		t.Fatalf("Stats.Health = %q, want degraded", got)
+	}
+
+	// Ingest keeps working memory-only.
+	if _, err := jb.Ingest(flat(6000, 2, 40)); err != nil {
+		t.Fatalf("degraded ingest: %v", err)
+	}
+	// New registrations are admitted memory-only.
+	jb2, err := e.Register("during-outage", 2)
+	if err != nil {
+		t.Fatalf("degraded Register: %v", err)
+	}
+	if _, err := jb2.Ingest(flat(7000, 2, 5)); err != nil {
+		t.Fatalf("degraded ingest on new job: %v", err)
+	}
+	// Reads keep answering.
+	if _, err := jb.Result(); err != nil {
+		t.Fatalf("degraded Result: %v", err)
+	}
+	if lst, err := e.Jobs(0, 10); err != nil || lst.Total != 2 {
+		t.Fatalf("degraded Jobs = %+v, %v", lst, err)
+	}
+	if _, err := e.Executions(); err != nil {
+		t.Fatalf("degraded Executions: %v", err)
+	}
+	// Labelling still learns, memory-only.
+	feedUntilComplete(t, jb)
+	if _, err := jb.Label("ft", "X"); err != nil {
+		t.Fatalf("degraded Label: %v", err)
+	}
+}
+
+// feedUntilComplete feeds flat telemetry until the stream's window
+// closes so the job becomes labellable.
+func feedUntilComplete(t *testing.T, jb *Job) {
+	t.Helper()
+	for upTo := 60; upTo <= 1200; upTo += 60 {
+		done, err := jb.Complete()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return
+		}
+		if _, err := jb.Ingest(flat(6000, 2, upTo)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, _ := jb.Complete()
+	if !done {
+		t.Fatal("job never completed")
+	}
+}
+
+// TestProbeReopensStore: once the fault clears, the background probe
+// reopens the store and the engine returns to durable mode — new jobs
+// are WAL-backed again, jobs that lived through the outage stay
+// memory-only.
+func TestProbeReopensStore(t *testing.T) {
+	dir := t.TempDir()
+	e, fs := attachFaultStore(t, dir)
+	defer e.Close()
+
+	jb, err := e.Register("survivor", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Ingest(flat(6000, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.EIO})
+	if _, err := jb.Ingest(flat(6000, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Health().Status != StatusDegraded {
+		t.Fatal("engine did not degrade")
+	}
+	// Samples fed during the outage, then heal the disk.
+	if _, err := jb.Ingest(flat(6000, 2, 30)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Reset()
+	waitFor(t, "probe reopen", func() bool { return e.Health().Status == StatusHealthy })
+
+	h := e.Health()
+	if h.StoreReopens == 0 || h.StoreReopenAttempts == 0 {
+		t.Fatalf("probe counters not recorded: %+v", h)
+	}
+	if !e.HasStore() {
+		t.Fatal("no store attached after reopen")
+	}
+
+	// The survivor stays memory-only: its ingest must not touch the
+	// reopened store's WAL (whose replay of it was dropped).
+	pre := e.Store().Stats().AppendedRecords
+	if _, err := jb.Ingest(flat(6000, 2, 40)); err != nil {
+		t.Fatalf("post-reopen ingest on outage job: %v", err)
+	}
+	if got := e.Store().Stats().AppendedRecords; got != pre {
+		t.Errorf("outage-surviving job appended %d WAL records to the reopened store", got-pre)
+	}
+	if got := e.Store().Stats().LiveJobs; got != 0 {
+		t.Errorf("reopened store tracks %d live jobs, want 0 (stale jobs dropped)", got)
+	}
+
+	// New jobs are durable again.
+	jb2, err := e.Register("fresh", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb2.Ingest(flat(7000, 2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Store().Stats().AppendedRecords; got == pre {
+		t.Error("post-reopen job not WAL-backed")
+	}
+
+	// A restart of the whole engine sees the durable state: only the
+	// fresh job's records.
+	if err := e.Close(); err != nil {
+		t.Fatalf("engine close: %v", err)
+	}
+	e2 := New(testDict(t))
+	recovered, err := e2.OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if recovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1 (fresh)", recovered)
+	}
+	if _, ok := e2.Lookup("fresh"); !ok {
+		t.Error("fresh job missing after restart")
+	}
+	if _, ok := e2.Lookup("survivor"); ok {
+		t.Error("outage job resurrected durable state it never had")
+	}
+}
+
+// TestDegradeRegisterPoisoning: a poisoning first surfaced by Register
+// still admits the job memory-only and degrades the engine.
+func TestDegradeRegisterPoisoning(t *testing.T) {
+	e, fs := attachFaultStore(t, t.TempDir())
+	defer e.Close()
+	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.ENOSPC})
+	jb, err := e.Register("first", 2)
+	if err != nil {
+		t.Fatalf("Register across poisoning = %v, want memory-only admission", err)
+	}
+	if e.Health().Status != StatusDegraded {
+		t.Fatal("engine did not degrade")
+	}
+	if _, err := jb.Ingest(flat(6000, 2, 5)); err != nil {
+		t.Fatalf("ingest on memory-only job: %v", err)
+	}
+}
+
+// TestCloseStoreWhileDegraded: shutting down a degraded engine stops
+// the probe and leaves health clean.
+func TestCloseStoreWhileDegraded(t *testing.T) {
+	e, fs := attachFaultStore(t, t.TempDir())
+	jb, err := e.Register("j", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.EIO})
+	if _, err := jb.Ingest(flat(6000, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Health().Status != StatusDegraded {
+		t.Fatal("engine did not degrade")
+	}
+	e.CloseStore() // error expected from the poisoned close; must not hang
+	if got := e.Health().Status; got != StatusHealthy {
+		t.Fatalf("health after CloseStore = %q", got)
+	}
+	if e.HasStore() {
+		t.Fatal("store still attached")
+	}
+	if _, err := jb.Ingest(flat(6000, 2, 20)); err != nil {
+		t.Fatalf("memory-only ingest after CloseStore: %v", err)
+	}
+}
+
+// TestAcquireIngestGate exercises the admission gate directly: both
+// bounds, rollback on refusal, release restoring capacity, and the
+// health readout.
+func TestAcquireIngestGate(t *testing.T) {
+	e := New(testDict(t))
+	e.MaxIngestBytes = 1000
+	e.MaxIngestBatches = 2
+
+	rel1, err := e.AcquireIngest(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AcquireIngest(600); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("byte-cap breach = %v, want ErrOverloaded", err)
+	}
+	rel2, err := e.AcquireIngest(100)
+	if err != nil {
+		t.Fatalf("within-cap acquire refused: %v", err)
+	}
+	if _, err := e.AcquireIngest(100); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch-cap breach = %v, want ErrOverloaded", err)
+	}
+	if got := e.Health().Status; got != StatusReadonly {
+		t.Fatalf("saturated health = %q, want readonly", got)
+	}
+	if got := e.Health().IngestShedTotal; got != 2 {
+		t.Fatalf("shed total = %d, want 2", got)
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	h := e.Health()
+	if h.IngestInflightBytes != 0 || h.IngestInflightBatches != 0 {
+		t.Fatalf("gate not drained: %+v", h)
+	}
+	if h.Status != StatusHealthy {
+		t.Fatalf("drained health = %q", h.Status)
+	}
+	if _, err := e.AcquireIngest(900); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+}
+
+// TestIngestUnaffectedByGateDefaults: the default caps are far above a
+// normal request; plain ingest never sees the gate.
+func TestIngestUnaffectedByGateDefaults(t *testing.T) {
+	e := New(testDict(t))
+	rel, err := e.AcquireIngest(1 << 20)
+	if err != nil {
+		t.Fatalf("default gate refused 1 MiB: %v", err)
+	}
+	rel()
+}

@@ -79,6 +79,33 @@ type Engine struct {
 	// torn pointer.
 	store atomic.Pointer[tsdb.Store]
 
+	// storeMode gates every store write (see health.go): ModeRW is the
+	// only state that touches the store; a degraded engine serves
+	// memory-only while the probe reopens the directory.
+	storeMode atomic.Int32
+	// storeReadMu excludes readers of mapped segment data (Series,
+	// Executions, RecognizeStored, storeStats) from the probe's
+	// close/munmap + reopen window and from CloseStore. Writers don't
+	// take it: they only touch the WAL, which the poisoned store
+	// refuses by itself.
+	storeReadMu sync.RWMutex
+	// storeDir / storeOpts remember how to reopen the store after a
+	// poisoning; set by OpenStore/AttachStore.
+	storeDir  string
+	storeOpts tsdb.Options
+
+	healthMu      sync.Mutex
+	healthErr     error
+	degradedSince time.Time
+
+	probeMu   sync.Mutex
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+
+	// Ingest admission gate (see AcquireIngest).
+	inflightBytes   atomic.Int64
+	inflightBatches atomic.Int64
+
 	shards   [NumShards]shard
 	jobCount atomic.Int64
 
@@ -86,6 +113,19 @@ type Engine struct {
 	// DefaultMaxJobs); registration beyond it is rejected. Set it
 	// before serving traffic.
 	MaxJobs int
+
+	// MaxIngestBytes / MaxIngestBatches bound the ingest admission gate
+	// (AcquireIngest): at most MaxIngestBatches concurrently admitted
+	// ingest requests totalling at most MaxIngestBytes payload bytes.
+	// 0 means the defaults (DefaultMaxIngestBytes/-Batches), negative
+	// disables that bound. Set before serving traffic.
+	MaxIngestBytes   int64
+	MaxIngestBatches int
+
+	// StoreProbeInterval is how often a degraded engine retries
+	// reopening its store (default DefaultStoreProbeInterval). Set
+	// before serving traffic.
+	StoreProbeInterval time.Duration
 
 	met counters
 }
@@ -104,6 +144,12 @@ type job struct {
 	nodes   int
 	samples int64
 	lastOff time.Duration
+	// st pins the store incarnation this job is registered in; nil for
+	// memory-only jobs (no store, or the job lived through a store
+	// outage). Writes resolve their store via Engine.storeFor, which
+	// requires st to equal the currently attached store — a stale
+	// pointer silently falls back to memory-only.
+	st *tsdb.Store
 	// done marks a job that has been labelled or closed; a caller
 	// that resolved the pointer before removal treats it as gone.
 	done bool
@@ -127,6 +173,9 @@ type counters struct {
 	recognitions    atomic.Int64
 	recovered       atomic.Int64
 	rerecognitions  atomic.Int64
+	shed            atomic.Int64
+	probeAttempts   atomic.Int64
+	probeReopens    atomic.Int64
 }
 
 // New returns an engine over the dictionary. The engine takes
@@ -283,15 +332,30 @@ func (e *Engine) Register(id string, nodes int) (*Job, error) {
 		return nil, fmt.Errorf("%w (%d)", ErrTableFull, e.MaxJobs)
 	}
 	j := &job{stream: stream, nodes: nodes}
+	// Pin the store incarnation before the job becomes reachable:
+	// feeders that race ahead of the durable registration resolve the
+	// same store and fail their append (unknown job) without touching
+	// the stream, so memory never runs ahead of the WAL.
+	var st *tsdb.Store
+	if e.storeMode.Load() == storeModeRW {
+		st = e.store.Load()
+	}
+	j.st = st
 	sh.jobs[id] = j
 	sh.mu.Unlock()
-	if st := e.store.Load(); st != nil {
-		// Durable registration. Feeders that race ahead of it fail
-		// their store append (unknown job) and report an error without
-		// touching the stream, so memory never runs ahead of the WAL.
+	if st != nil {
+		// Durable registration.
 		if err := st.Register(id, nodes); err != nil {
-			e.removeJob(id, j)
-			return nil, fmt.Errorf("%w registration: %v", ErrStore, err)
+			if errors.Is(err, tsdb.ErrJobExists) || !e.noteStoreError(st, err) {
+				e.removeJob(id, j)
+				return nil, fmt.Errorf("%w registration: %v", ErrStore, err)
+			}
+			// The store failed (or was closed) under the registration:
+			// the engine degrades but the job is admitted memory-only,
+			// like every other job during an outage.
+			j.mu.Lock()
+			j.st = nil
+			j.mu.Unlock()
 		}
 	}
 	e.met.registered.Add(1)
@@ -468,9 +532,15 @@ func (e *Engine) IngestRuns(batches []RunBatch) (accepted int, unknown []string,
 // means the durable state is suspect anyway — restart and replay the
 // WAL rather than limp on.
 func (e *Engine) commitAccepted(accepted int) error {
-	if st := e.store.Load(); st != nil && accepted > 0 {
-		if err := st.Commit(); err != nil {
-			return fmt.Errorf("%w commit: %v", ErrStore, err)
+	if accepted > 0 && e.storeMode.Load() == storeModeRW {
+		if st := e.store.Load(); st != nil {
+			if err := st.Commit(); err != nil && !e.noteStoreError(st, err) {
+				return fmt.Errorf("%w commit: %v", ErrStore, err)
+			}
+			// An absorbed commit failure (poisoning, graceful close)
+			// acknowledges the batch memory-only: the streams are fed
+			// and the engine has degraded — reads and further ingest
+			// keep working, which is the degradation contract.
 		}
 	}
 	e.met.samplesAccepted.Add(int64(accepted))
@@ -540,9 +610,8 @@ func (e *Engine) feedRuns(id string, j *job, runs []Run) (int, bool, error) {
 // happens once per batch (commitAccepted). fedSoFar is the batch's
 // running total, needed to book partial progress on a store error.
 func (e *Engine) feedRunLocked(id string, j *job, metric string, node int, offs []time.Duration, vals []float64, fedSoFar int) (int, bool, error) {
-	if st := e.store.Load(); st != nil {
+	if st := e.storeFor(j); st != nil {
 		if err := st.Append(id, metric, node, offs, vals); err != nil {
-			j.samples += int64(fedSoFar)
 			if errors.Is(err, tsdb.ErrUnknownJob) {
 				// The documented register race: the job is in the
 				// shard map but its store registration has not landed
@@ -552,9 +621,16 @@ func (e *Engine) feedRunLocked(id string, j *job, metric string, node int, offs 
 				// unknown job instead of failing jobs already fed in
 				// this batch, whose WAL records still need the
 				// batch's commit.
+				j.samples += int64(fedSoFar)
 				return 0, false, nil
 			}
-			return 0, true, fmt.Errorf("%w append: %v", ErrStore, err)
+			if !e.noteStoreError(st, err) {
+				j.samples += int64(fedSoFar)
+				return 0, true, fmt.Errorf("%w append: %v", ErrStore, err)
+			}
+			// Store poisoned (or gracefully closed) mid-batch: the
+			// engine degrades and this run — like everything after it —
+			// is fed memory-only. Fall through to the stream feed.
 		}
 	}
 	for _, off := range offs {
@@ -640,6 +716,8 @@ func (e *Engine) Stats() Stats {
 		SamplesAccepted: e.met.samplesAccepted.Load(),
 		BatchesRejected: e.met.batchesRejected.Load(),
 		Recognitions:    e.met.recognitions.Load(),
+		Health:          e.healthStatus(),
+		IngestShedTotal: e.met.shed.Load(),
 		Store:           e.storeStats(),
 	}
 	for i := range e.shards {
@@ -796,10 +874,15 @@ func (jb *Job) Label(app, input string) (string, error) {
 	// ID cannot slip in (the ID is still in the shard map, so Register
 	// answers ErrJobExists) and have its fresh store entry finished by
 	// us.
-	if st := jb.e.store.Load(); st != nil {
+	if st := jb.e.storeFor(jb.j); st != nil {
 		if err := st.Finish(jb.id, label.String()); err != nil {
-			jb.j.mu.Unlock()
-			return "", fmt.Errorf("%w finish: %v", ErrStore, err)
+			if !jb.e.noteStoreError(st, err) {
+				jb.j.mu.Unlock()
+				return "", fmt.Errorf("%w finish: %v", ErrStore, err)
+			}
+			// Absorbed (store poisoned / closed under us): the label
+			// proceeds memory-only — the dictionary still learns, the
+			// execution just isn't persisted.
 		}
 	}
 	// Online learning: insert the completed stream's fingerprints
@@ -829,10 +912,13 @@ func (jb *Job) Close() error {
 	// leaves the job fully alive (no state diverged), and a concurrent
 	// re-registration cannot create a fresh store entry for this ID
 	// that our Drop would then delete.
-	if st := jb.e.store.Load(); st != nil {
+	if st := jb.e.storeFor(jb.j); st != nil {
 		if err := st.Drop(jb.id); err != nil {
-			jb.j.mu.Unlock()
-			return fmt.Errorf("%w drop: %v", ErrStore, err)
+			if !jb.e.noteStoreError(st, err) {
+				jb.j.mu.Unlock()
+				return fmt.Errorf("%w drop: %v", ErrStore, err)
+			}
+			// Absorbed: the close proceeds memory-only.
 		}
 	}
 	jb.j.done = true

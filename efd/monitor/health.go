@@ -1,0 +1,319 @@
+package monitor
+
+// Graceful degradation and overload control.
+//
+// The durable store can poison itself at runtime (a WAL write or fsync
+// failure, ENOSPC): every further store mutation refuses until a
+// reopen replays the disk. Rather than turning those refusals into
+// ingest failures, the engine degrades: the store is fenced off,
+// ingest and every read keep working memory-only, health reporting
+// flips to "degraded" with the triggering error, and a supervised
+// background probe keeps attempting to reopen the store directory.
+// When a reopen succeeds the engine returns to durable mode — jobs
+// registered from then on are WAL-backed again, while jobs that lived
+// through the outage stay memory-only (their streams hold samples the
+// store never saw; resuming their WAL would persist a lie).
+//
+// Overload control is a separate, engine-level concern: AcquireIngest
+// bounds the bytes and batch count admitted concurrently, so a flood
+// of oversized ingest requests degrades into fast, explicit shedding
+// (HTTP 429 upstream) instead of unbounded memory growth.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// Store modes. The mode gates every store write: only ModeRW touches
+// the store, and a degraded engine keeps serving from memory.
+const (
+	storeModeNone     int32 = iota // no store attached
+	storeModeRW                    // healthy, durable
+	storeModeDegraded              // store poisoned; memory-only until reopened
+)
+
+// Health status strings, the GET /v1/health vocabulary.
+const (
+	StatusHealthy  = "healthy"
+	StatusDegraded = "degraded"
+	StatusReadonly = "readonly"
+)
+
+// DefaultStoreProbeInterval is how often a degraded engine attempts to
+// reopen its store.
+const DefaultStoreProbeInterval = 15 * time.Second
+
+// Default ingest admission bounds; see Engine.MaxIngestBytes.
+const (
+	DefaultMaxIngestBytes   = 64 << 20
+	DefaultMaxIngestBatches = 256
+)
+
+// HealthInfo is the engine's health snapshot — the GET /v1/health
+// response body.
+type HealthInfo struct {
+	// Status is "healthy", "degraded" (the durable store failed and a
+	// background probe is attempting to reopen it; ingest and reads
+	// continue memory-only), or "readonly" (the ingest admission gate
+	// is saturated and new ingest is being shed).
+	Status string `json:"status"`
+	// Error is the triggering store error while degraded.
+	Error string `json:"error,omitempty"`
+	// DegradedForS is how long the engine has been degraded.
+	DegradedForS float64 `json:"degraded_for_s,omitempty"`
+	// StoreReopenAttempts / StoreReopens count probe activity since the
+	// engine started.
+	StoreReopenAttempts int64 `json:"store_reopen_attempts,omitempty"`
+	StoreReopens        int64 `json:"store_reopens,omitempty"`
+	// Ingest admission gate occupancy and lifetime shed count.
+	IngestInflightBytes   int64 `json:"ingest_inflight_bytes"`
+	IngestInflightBatches int64 `json:"ingest_inflight_batches"`
+	IngestShedTotal       int64 `json:"ingest_shed_total"`
+}
+
+// Health snapshots the engine's health. Degraded wins over readonly:
+// an operator fixing a dead disk should not have the signal masked by
+// a concurrent traffic spike.
+func (e *Engine) Health() HealthInfo {
+	out := HealthInfo{
+		Status:                StatusHealthy,
+		StoreReopenAttempts:   e.met.probeAttempts.Load(),
+		StoreReopens:          e.met.probeReopens.Load(),
+		IngestInflightBytes:   e.inflightBytes.Load(),
+		IngestInflightBatches: e.inflightBatches.Load(),
+		IngestShedTotal:       e.met.shed.Load(),
+	}
+	if e.saturated() {
+		out.Status = StatusReadonly
+	}
+	if e.storeMode.Load() == storeModeDegraded {
+		out.Status = StatusDegraded
+		e.healthMu.Lock()
+		if e.healthErr != nil {
+			out.Error = e.healthErr.Error()
+		}
+		if !e.degradedSince.IsZero() {
+			out.DegradedForS = time.Since(e.degradedSince).Seconds()
+		}
+		e.healthMu.Unlock()
+	}
+	return out
+}
+
+// healthStatus is the one-word form for Stats.
+func (e *Engine) healthStatus() string {
+	if e.storeMode.Load() == storeModeDegraded {
+		return StatusDegraded
+	}
+	if e.saturated() {
+		return StatusReadonly
+	}
+	return StatusHealthy
+}
+
+// saturated reports whether the ingest gate is currently full.
+func (e *Engine) saturated() bool {
+	if maxN := e.ingestBatchCap(); maxN > 0 && e.inflightBatches.Load() >= maxN {
+		return true
+	}
+	if maxB := e.ingestByteCap(); maxB > 0 && e.inflightBytes.Load() >= maxB {
+		return true
+	}
+	return false
+}
+
+func (e *Engine) ingestByteCap() int64 {
+	if e.MaxIngestBytes != 0 {
+		return e.MaxIngestBytes
+	}
+	return DefaultMaxIngestBytes
+}
+
+func (e *Engine) ingestBatchCap() int64 {
+	if e.MaxIngestBatches != 0 {
+		return int64(e.MaxIngestBatches)
+	}
+	return DefaultMaxIngestBatches
+}
+
+// AcquireIngest admits one ingest request of approximately `bytes`
+// payload bytes into the engine, or refuses with ErrOverloaded when
+// admission would exceed MaxIngestBytes / MaxIngestBatches. On success
+// the returned release must be called exactly once when the request
+// finishes (it tolerates duplicates). The HTTP adapter acquires before
+// decoding, so an overload answers from the request headers alone.
+func (e *Engine) AcquireIngest(bytes int64) (release func(), err error) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	maxB, maxN := e.ingestByteCap(), e.ingestBatchCap()
+	if b := e.inflightBytes.Add(bytes); maxB > 0 && b > maxB {
+		e.inflightBytes.Add(-bytes)
+		e.met.shed.Add(1)
+		return nil, fmt.Errorf("%w: %d ingest bytes in flight (cap %d)", ErrOverloaded, b-bytes, maxB)
+	}
+	if n := e.inflightBatches.Add(1); maxN > 0 && n > maxN {
+		e.inflightBatches.Add(-1)
+		e.inflightBytes.Add(-bytes)
+		e.met.shed.Add(1)
+		return nil, fmt.Errorf("%w: %d ingest requests in flight (cap %d)", ErrOverloaded, n-1, maxN)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.inflightBytes.Add(-bytes)
+			e.inflightBatches.Add(-1)
+		})
+	}, nil
+}
+
+// --- degradation ------------------------------------------------------
+
+// storeFor resolves the store a job's writes should go to, or nil when
+// the job runs memory-only: the engine must be in durable mode AND the
+// job must have been registered against the currently attached store
+// incarnation (a job that lived through an outage stays memory-only —
+// its stream holds samples the reopened store never saw). Called with
+// j.mu held (j.st is guarded by it).
+func (e *Engine) storeFor(j *job) *tsdb.Store {
+	if e.storeMode.Load() != storeModeRW {
+		return nil
+	}
+	st := e.store.Load()
+	if st == nil || j.st != st {
+		return nil
+	}
+	return st
+}
+
+// noteStoreError classifies a store write failure. It returns true
+// when the engine absorbs the error — the store was gracefully closed
+// under the caller (CloseStore race) or has poisoned itself (the
+// engine degrades and the caller proceeds memory-only) — and false
+// when the error is the caller's to surface (validation, unknown job,
+// a failed flush on a healthy store).
+func (e *Engine) noteStoreError(st *tsdb.Store, err error) bool {
+	if errors.Is(err, tsdb.ErrClosed) {
+		return true
+	}
+	if st.Failed() != nil {
+		e.degradeStore(err)
+		return true
+	}
+	return false
+}
+
+// degradeStore fences the store off and starts the reopen probe. Only
+// the first caller transitions; the rest are no-ops.
+func (e *Engine) degradeStore(err error) {
+	if !e.storeMode.CompareAndSwap(storeModeRW, storeModeDegraded) {
+		return
+	}
+	e.healthMu.Lock()
+	e.healthErr = err
+	e.degradedSince = time.Now()
+	e.healthMu.Unlock()
+	e.startProbe()
+}
+
+// startProbe launches the background reopen loop, once.
+func (e *Engine) startProbe() {
+	e.probeMu.Lock()
+	defer e.probeMu.Unlock()
+	if e.probeStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	e.probeStop = stop
+	e.probeWG.Add(1)
+	go e.probeLoop(stop)
+}
+
+// stopProbe halts the probe (if running) and waits for it to exit.
+func (e *Engine) stopProbe() {
+	e.probeMu.Lock()
+	if e.probeStop != nil {
+		close(e.probeStop)
+		e.probeStop = nil
+	}
+	e.probeMu.Unlock()
+	e.probeWG.Wait()
+}
+
+func (e *Engine) probeLoop(stop chan struct{}) {
+	defer func() {
+		e.probeMu.Lock()
+		if e.probeStop == stop {
+			e.probeStop = nil
+		}
+		e.probeMu.Unlock()
+		e.probeWG.Done()
+	}()
+	interval := e.StoreProbeInterval
+	if interval <= 0 {
+		interval = DefaultStoreProbeInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if e.attemptReopen() {
+				return
+			}
+		}
+	}
+}
+
+// attemptReopen closes the poisoned store and reopens its directory.
+// It returns true when the probe's job is over — the reopen succeeded,
+// or the store was detached underneath it. The write lock on
+// storeReadMu excludes every reader for the close/munmap + reopen
+// window, so no mapped segment view is torn down mid-read.
+func (e *Engine) attemptReopen() bool {
+	e.met.probeAttempts.Add(1)
+	e.storeReadMu.Lock()
+	defer e.storeReadMu.Unlock()
+	if e.storeMode.Load() != storeModeDegraded {
+		return true
+	}
+	if old := e.store.Swap(nil); old != nil {
+		// Poisoned close: flush and sync are skipped (crash semantics),
+		// but descriptors, mappings, and the directory flock release.
+		old.Close()
+	}
+	st, err := tsdb.OpenOptions(e.storeDir, e.storeOpts)
+	if err != nil {
+		e.healthMu.Lock()
+		e.healthErr = err
+		e.healthMu.Unlock()
+		return false
+	}
+	// Jobs replayed from the WAL lived through the outage: their
+	// engine-side streams hold samples the store never saw, so
+	// resuming their WAL entries would persist a divergent history.
+	// Drop them from the store — their streams keep serving memory-only
+	// (storeFor never resolves them: their j.st is a dead pointer).
+	for _, lj := range st.Live() {
+		st.Drop(lj.ID)
+	}
+	e.store.Store(st)
+	e.storeMode.Store(storeModeRW)
+	e.healthMu.Lock()
+	e.healthErr = nil
+	e.degradedSince = time.Time{}
+	e.healthMu.Unlock()
+	e.met.probeReopens.Add(1)
+	return true
+}
+
+// Close shuts the engine down: the reopen probe is stopped and the
+// store (when attached) is flushed and closed. Live jobs stay readable
+// in memory; the engine may keep serving non-durable traffic.
+func (e *Engine) Close() error { return e.CloseStore() }

@@ -72,12 +72,18 @@ func (e *Engine) AttachStore(st *tsdb.Store) (recovered int, err error) {
 		// since-closed) store pointer behind the engine.
 		return 0, fmt.Errorf("monitor: store holds %d live jobs, exceeding MaxJobs %d; raise the cap or prune the store", len(live), e.MaxJobs)
 	}
+	// Remember how to reopen this store: should it poison itself at
+	// runtime, the engine degrades to memory-only and a background
+	// probe reopens the same directory with the same options.
+	e.storeDir = st.Dir()
+	e.storeOpts = st.Options()
 	e.store.Store(st)
+	e.storeMode.Store(storeModeRW)
 	for _, lj := range live {
 		var stream *core.Stream
 		nodes := lj.Nodes
 		e.dict.Read(func(d *core.Dictionary) { stream = core.NewStream(d, nodes) })
-		j := &job{stream: stream, nodes: nodes, samples: lj.Samples, lastOff: lj.LastOffset}
+		j := &job{stream: stream, nodes: nodes, samples: lj.Samples, lastOff: lj.LastOffset, st: st}
 		// Feeding per-series runs reproduces the pre-crash stream
 		// state exactly: the window accumulators are independent per
 		// (metric, node, window) and each series' samples replay in
@@ -108,9 +114,18 @@ func (e *Engine) HasStore() bool { return e.store.Load() != nil }
 // CloseStore flushes pending executions into segments, syncs the WAL,
 // and releases the store. A no-op without one. The engine keeps
 // serving in-memory afterwards, but durable guarantees end here —
-// call it on shutdown only.
+// call it on shutdown only. Stops the degraded-mode reopen probe
+// first, so no reopen races the shutdown.
 func (e *Engine) CloseStore() error {
+	e.stopProbe()
+	e.storeReadMu.Lock()
 	st := e.store.Swap(nil)
+	e.storeMode.Store(storeModeNone)
+	e.healthMu.Lock()
+	e.healthErr = nil
+	e.degradedSince = time.Time{}
+	e.healthMu.Unlock()
+	e.storeReadMu.Unlock()
 	if st == nil {
 		return nil
 	}
@@ -124,6 +139,10 @@ func time1HzOffset(i int) time.Duration { return time.Duration(i) * telemetry.De
 // snapshot of their accumulated columns, finished ones their stored
 // execution.
 func (e *Engine) Series(id string) (SeriesDump, error) {
+	// The read lock keeps the probe (and CloseStore) from unmapping
+	// segment files while this read walks them; see storeReadMu.
+	e.storeReadMu.RLock()
+	defer e.storeReadMu.RUnlock()
 	st := e.store.Load()
 	if st == nil {
 		return SeriesDump{}, ErrNoStore
@@ -166,6 +185,8 @@ func (e *Engine) Series(id string) (SeriesDump, error) {
 // Executions lists every stored (finished) execution, sorted by
 // sequence number.
 func (e *Engine) Executions() ([]ExecutionInfo, error) {
+	e.storeReadMu.RLock()
+	defer e.storeReadMu.RUnlock()
 	st := e.store.Load()
 	if st == nil {
 		return nil, ErrNoStore
@@ -182,6 +203,8 @@ func (e *Engine) Executions() ([]ExecutionInfo, error) {
 // the dictionary as it stands now — the payoff of keeping telemetry:
 // labels learned after a job finished still apply to it.
 func (e *Engine) RecognizeStored(id string) (State, error) {
+	e.storeReadMu.RLock()
+	defer e.storeReadMu.RUnlock()
 	st := e.store.Load()
 	if st == nil {
 		return State{}, ErrNoStore
@@ -213,6 +236,8 @@ func (e *Engine) RecognizeStored(id string) (State, error) {
 // storeStats assembles the Stats store section, or nil without a
 // store.
 func (e *Engine) storeStats() *StoreStats {
+	e.storeReadMu.RLock()
+	defer e.storeReadMu.RUnlock()
 	store := e.store.Load()
 	if store == nil {
 		return nil

@@ -30,6 +30,10 @@ var (
 	// the job's in-memory state is unchanged unless documented
 	// otherwise.
 	ErrStore = errors.New("monitor: telemetry store")
+	// ErrOverloaded reports an ingest request refused by the admission
+	// gate (AcquireIngest): too many bytes or requests in flight. The
+	// condition is transient — retry after backing off.
+	ErrOverloaded = errors.New("monitor: ingest overloaded")
 )
 
 // Sample is one telemetry point in wire form — the JSON shape the v1
@@ -122,6 +126,14 @@ type Stats struct {
 	SamplesAccepted int64 `json:"samples_accepted_total"`
 	BatchesRejected int64 `json:"batches_rejected_total"`
 	Recognitions    int64 `json:"recognitions_total"`
+	// Health is the engine's one-word health status — "healthy",
+	// "degraded" (store failed, serving memory-only), or "readonly"
+	// (ingest admission gate saturated). GET /v1/health has the full
+	// picture.
+	Health string `json:"health"`
+	// IngestShedTotal counts ingest requests refused by the admission
+	// gate since start.
+	IngestShedTotal int64 `json:"ingest_shed_total"`
 	// Store carries the durable-store counters; nil without a store.
 	Store *StoreStats `json:"store,omitempty"`
 }

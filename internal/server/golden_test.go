@@ -134,6 +134,7 @@ func TestGoldenV1InMemory(t *testing.T) {
 	g.do(http.MethodPost, "/v1/jobs/g1/label", labelRequest{App: "lammps", Input: "X"})
 	g.do(http.MethodDelete, "/v1/jobs/g2", nil)
 	g.do(http.MethodGet, "/v1/metrics", nil)
+	g.do(http.MethodGet, "/v1/health", nil)
 
 	g.check("golden_v1_memory.txt")
 }
@@ -149,6 +150,7 @@ func TestGoldenV1Storage(t *testing.T) {
 	g.do(http.MethodGet, "/v1/executions", nil)
 	g.do(http.MethodPost, "/v1/executions/s1/recognize", nil)
 	g.do(http.MethodGet, "/v1/metrics", nil)
+	g.do(http.MethodGet, "/v1/health", nil)
 
 	g.check("golden_v1_storage.txt")
 }

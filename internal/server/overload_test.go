@@ -1,0 +1,82 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestHealthV1 pins the expanded health endpoint: always 200, with the
+// one-word status plus the ingest-gate readout.
+func TestHealthV1(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/v1/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/health = %v", resp.Status)
+	}
+	if body["status"] != "healthy" {
+		t.Errorf("status = %v, want healthy", body["status"])
+	}
+	if _, ok := body["ingest_inflight_bytes"]; !ok {
+		t.Error("health body missing ingest_inflight_bytes")
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/health", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/health = %v, want 405", mresp.Status)
+	}
+}
+
+// TestIngestOverload429 drives the admission gate through the HTTP
+// adapter: a body larger than the engine's ingest budget is shed with
+// 429, a Retry-After header, and the "overloaded" error code — before
+// the server spends any decode work on it.
+func TestIngestOverload429(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.MaxIngestBytes = 16 // any real batch body exceeds this
+
+	resp, body := post(t, ts.URL+"/v1/jobs", registerRequest{JobID: "o1", Nodes: 2})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v %v", resp.Status, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/samples", sampleBatch{JobID: "o1", Samples: goldenSamples(6010, 25)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded ingest = %v, want 429 (%v)", resp.Status, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	errObj, _ := body["error"].(map[string]any)
+	if errObj["code"] != "overloaded" {
+		t.Errorf("error code = %v, want overloaded", errObj["code"])
+	}
+
+	// The shed shows up in health and metrics; the gate has drained.
+	resp, health := get(t, ts.URL+"/v1/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health after shed: %v", resp.Status)
+	}
+	if health["ingest_shed_total"].(float64) != 1 {
+		t.Errorf("ingest_shed_total = %v, want 1", health["ingest_shed_total"])
+	}
+	if health["ingest_inflight_bytes"].(float64) != 0 {
+		t.Errorf("inflight bytes not released: %v", health["ingest_inflight_bytes"])
+	}
+	if health["status"] != "healthy" {
+		t.Errorf("drained status = %v, want healthy", health["status"])
+	}
+
+	// Raising the budget lets the same batch straight through.
+	s.MaxIngestBytes = -1
+	resp, body = post(t, ts.URL+"/v1/samples", sampleBatch{JobID: "o1", Samples: goldenSamples(6010, 25)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unlimited ingest = %v (%v)", resp.Status, body)
+	}
+}

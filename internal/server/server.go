@@ -94,6 +94,7 @@ func NewEngine(e *monitor.Engine) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/health", s.handleHealthV1)
 	mux.HandleFunc("/v1/dictionary", s.handleDictionary)
 	mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
@@ -151,8 +152,14 @@ const (
 	codeMethodNotAllowed = "method_not_allowed"
 	codePayloadTooLarge  = "payload_too_large"
 	codeUnimplemented    = "unimplemented"
+	codeOverloaded       = "overloaded"
 	codeInternal         = "internal"
 )
+
+// overloadRetryAfterS is the Retry-After hint on 429 overload answers.
+// The admission gate drains as fast as in-flight requests finish, so a
+// short fixed hint beats an estimate.
+const overloadRetryAfterS = "1"
 
 type errorBody struct {
 	Error errorDetail `json:"error"`
@@ -183,6 +190,9 @@ func engineError(w http.ResponseWriter, err error) {
 		status, code = http.StatusConflict, codeConflict
 	case errors.Is(err, monitor.ErrTableFull):
 		status, code = http.StatusTooManyRequests, codeTooManyJobs
+	case errors.Is(err, monitor.ErrOverloaded):
+		w.Header().Set("Retry-After", overloadRetryAfterS)
+		status, code = http.StatusTooManyRequests, codeOverloaded
 	case errors.Is(err, monitor.ErrNoStore):
 		status, code = http.StatusNotImplemented, codeUnimplemented
 	}
@@ -220,6 +230,18 @@ func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleHealthV1 serves GET /v1/health: the engine's health snapshot.
+// Always 200 — a degraded engine still serves, and load balancers that
+// should stop sending traffic can inspect the status field. /healthz
+// stays the bare liveness probe.
+func (s *Server) handleHealthV1(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 func (s *Server) handleDictionary(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +309,21 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	// Admission control before any decoding: a flood of ingest
+	// requests is refused from the Content-Length alone (429 +
+	// Retry-After), so overload sheds cheaply instead of buffering
+	// unbounded request bodies. Chunked bodies (no declared length)
+	// are charged the worst case the body limit allows.
+	est := r.ContentLength
+	if est < 0 {
+		est = s.MaxBodyBytes
+	}
+	release, aerr := s.AcquireIngest(est)
+	if aerr != nil {
+		engineError(w, aerr)
+		return
+	}
+	defer release()
 	s.limitBody(w, r)
 	if isRunsContentType(r.Header.Get("Content-Type")) {
 		s.handleSamplesBinary(w, r)

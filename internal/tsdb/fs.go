@@ -1,0 +1,12 @@
+package tsdb
+
+import "repro/internal/vfs"
+
+// Mapping re-exports the vfs read-only file mapping — the store's
+// original mmap support moved to internal/vfs when the I/O seam was
+// introduced, and external readers (internal/ldms) still map segment
+// files through the tsdb package.
+type Mapping = vfs.Mapping
+
+// MapFile memory-maps path read-only via the real filesystem.
+func MapFile(path string) (*Mapping, error) { return vfs.OS{}.MapFile(path) }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/vfs"
 )
 
 // validWALBytes builds a small real WAL for the seed corpus.
@@ -113,7 +114,7 @@ func FuzzSegmentOpen(f *testing.F) {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		g, err := openSegment(path)
+		g, err := openSegment(vfs.OS{}, path)
 		if err != nil {
 			return // rejected cleanly
 		}

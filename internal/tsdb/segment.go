@@ -27,13 +27,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"time"
 	"unsafe"
 
 	"repro/internal/telemetry"
+	"repro/internal/vfs"
 )
 
 const (
@@ -85,18 +86,18 @@ func segName(n int) string { return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuf
 
 // writeSegment renders execs into path atomically (temp file + fsync +
 // rename + directory fsync). Histogram sketches use bins bins.
-func writeSegment(dir, name string, execs []*jobMem, bins int) (err error) {
-	tmp, err := os.CreateTemp(dir, segPrefix+"*.tmp")
+func writeSegment(fs vfs.FS, dir, name string, execs []*jobMem, bins int) (err error) {
+	tmp, err := fs.CreateTemp(dir, segPrefix+"*.tmp")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fs.Remove(tmp.Name())
 		}
 	}()
-	if _, err = tmp.WriteString(segMagicHead); err != nil {
+	if _, err = io.WriteString(tmp, segMagicHead); err != nil {
 		return err
 	}
 	off := int64(len(segMagicHead))
@@ -157,28 +158,18 @@ func writeSegment(dir, name string, execs []*jobMem, bins int) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err = fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return err
 	}
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a just-renamed file survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fs.SyncDir(dir)
 }
 
 // openSegment maps and fully validates one segment file: header and
 // trailer magic, footer CRC and bounds, and every block's CRC and
 // alignment. Any failure returns an error and the caller quarantines
 // the file.
-func openSegment(path string) (*segment, error) {
-	m, err := MapFile(path)
+func openSegment(fs vfs.FS, path string) (*segment, error) {
+	m, err := fs.MapFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"slices"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/vfs"
 )
 
 // Options tune a store. The zero value is ready for production use.
@@ -30,6 +32,11 @@ type Options struct {
 	// file contents are identical); only crash durability is lost. For
 	// benchmarks and bulk loads.
 	NoSync bool
+	// FS is the filesystem the store performs all I/O through. Default
+	// vfs.OS{} (the real disk); tests substitute a vfs.Fault to inject
+	// ENOSPC, torn writes, fsync failures, and crashes at exact
+	// operation boundaries.
+	FS vfs.FS
 }
 
 func (o *Options) withDefaults() Options {
@@ -39,6 +46,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.HistBins <= 0 {
 		out.HistBins = telemetry.DefaultHistBins
+	}
+	if out.FS == nil {
+		out.FS = vfs.OS{}
 	}
 	return out
 }
@@ -81,6 +91,13 @@ var ErrJobExists = errors.New("tsdb: job already registered")
 // ErrUnknownExecution is returned when no stored execution has the
 // requested ID.
 var ErrUnknownExecution = errors.New("tsdb: unknown execution")
+
+// ErrClosed is returned for any mutation or flush after Close.
+var ErrClosed = errors.New("tsdb: store closed")
+
+// ErrLocked is returned by Open when another process holds the data
+// directory's lock.
+var ErrLocked = vfs.ErrLocked
 
 type seriesKey struct {
 	metric string
@@ -216,13 +233,14 @@ func (j *jobMem) bytes() int64 { return j.samples * 16 }
 type Store struct {
 	dir string
 	opt Options
+	fs  vfs.FS // == opt.FS, for brevity
 
 	mu sync.Mutex
 	// syncMu serializes Commit's off-lock fsyncs; see Commit.
 	syncMu    sync.Mutex
 	flushCond *sync.Cond
 	// lock holds the directory's exclusive flock (nil on non-unix).
-	lock     *os.File
+	lock     io.Closer
 	w        *wal
 	live     map[string]*jobMem
 	pending  []*jobMem // finished, awaiting segment flush (in finish order)
@@ -267,16 +285,19 @@ func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
 
 // OpenOptions is Open with explicit options.
 func OpenOptions(dir string, opt Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opt = opt.withDefaults()
+	fs := opt.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	lock, err := lockDir(dir)
+	lock, err := fs.Lock(dir)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{
 		dir:  dir,
-		opt:  opt.withDefaults(),
+		opt:  opt,
+		fs:   fs,
 		live: make(map[string]*jobMem),
 		lock: lock,
 	}
@@ -294,7 +315,7 @@ func OpenOptions(dir string, opt Options) (*Store, error) {
 	if err := s.replay(); err != nil {
 		return fail(err)
 	}
-	w, err := openWAL(filepath.Join(dir, walName))
+	w, err := openWAL(fs, filepath.Join(dir, walName))
 	if err != nil {
 		return fail(err)
 	}
@@ -307,14 +328,14 @@ func OpenOptions(dir string, opt Options) (*Store, error) {
 // an interrupted flush are removed: the rename never happened, so the
 // WAL still holds their contents.
 func (s *Store) openSegments() error {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
 	for _, ent := range ents {
 		name := ent.Name()
 		if strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(s.dir, name))
+			s.fs.Remove(filepath.Join(s.dir, name))
 			continue
 		}
 		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
@@ -325,11 +346,11 @@ func (s *Store) openSegments() error {
 			continue
 		}
 		path := filepath.Join(s.dir, name)
-		g, err := openSegment(path)
+		g, err := openSegment(s.fs, path)
 		if err != nil {
 			// Quarantine: a torn or rotted segment must neither crash
 			// the store nor be mistaken for an empty one.
-			os.Rename(path, path+".corrupt")
+			s.fs.Rename(path, path+".corrupt")
 			s.qSegs++
 			continue
 		}
@@ -354,9 +375,9 @@ func (s *Store) openSegments() error {
 // duplicated.
 func (s *Store) replay() error {
 	path := filepath.Join(s.dir, walName)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, os.ErrNotExist) {
 			return nil
 		}
 		return err
@@ -396,7 +417,7 @@ func (s *Store) replay() error {
 	})
 	s.replayed = records
 	if replayErr != nil && good < int64(len(data)) {
-		q, qerr := quarantineTail(s.dir, path, data, good)
+		q, qerr := quarantineTail(s.fs, s.dir, path, data, good)
 		if qerr != nil {
 			return fmt.Errorf("tsdb: quarantine torn WAL tail: %w", qerr)
 		}
@@ -408,6 +429,18 @@ func (s *Store) replay() error {
 // Dir reports the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Options reports the (defaulted) options the store was opened with —
+// what a supervisor needs to reopen the same store after a failure.
+func (s *Store) Options() Options { return s.opt }
+
+// Failed reports the poisoning error, or nil while the store is
+// healthy. A non-nil result is permanent: only a reopen recovers.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
 // Register starts tracking a live job. The record is made durable
 // before returning.
 func (s *Store) Register(job string, nodes int) error {
@@ -417,7 +450,7 @@ func (s *Store) Register(job string, nodes int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		return s.failed
@@ -476,7 +509,7 @@ func (s *Store) Append(job, metric string, node int, offs []time.Duration, vals 
 		runEncPool.Put(enc)
 	}()
 	if s.closed {
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		return s.failed
@@ -508,7 +541,7 @@ func (s *Store) Commit() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		err := s.failed
@@ -589,7 +622,7 @@ func (s *Store) Finish(job, label string) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		err := s.failed
@@ -638,7 +671,7 @@ func (s *Store) Drop(job string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		return s.failed
@@ -702,7 +735,7 @@ func (s *Store) IngestExecution(job, label string, ns *telemetry.NodeSet) error 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		err := s.failed
@@ -728,7 +761,7 @@ func (s *Store) Flush() error {
 	}
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("tsdb: store closed")
+		return ErrClosed
 	}
 	if s.failed != nil {
 		err := s.failed
@@ -750,17 +783,17 @@ func (s *Store) Flush() error {
 	s.flushing = true
 	s.mu.Unlock()
 
-	err := writeSegment(s.dir, name, batch, s.opt.HistBins)
+	err := writeSegment(s.fs, s.dir, name, batch, s.opt.HistBins)
 	var g *segment
 	if err == nil {
-		g, err = openSegment(filepath.Join(s.dir, name))
+		g, err = openSegment(s.fs, filepath.Join(s.dir, name))
 		if err != nil {
 			// The renamed file exists but cannot be mapped; the batch
 			// stays pending (and in the WAL), so the orphan must go or
 			// the retry would store every execution twice. If even the
 			// remove fails, poison the store rather than risk the
 			// duplicate surfacing after a restart maps both files.
-			if rmErr := os.Remove(filepath.Join(s.dir, name)); rmErr != nil {
+			if rmErr := s.fs.Remove(filepath.Join(s.dir, name)); rmErr != nil {
 				s.mu.Lock()
 				err = s.failLocked(errors.Join(err, rmErr))
 				s.mu.Unlock()
@@ -819,8 +852,8 @@ var walRunChunk = 1 << 20
 func (s *Store) compactWALLocked() error {
 	tmpPath := filepath.Join(s.dir, walName+".tmp")
 	nw, err := func() (*wal, error) {
-		os.Remove(tmpPath)
-		return openWAL(tmpPath)
+		s.fs.Remove(tmpPath)
+		return openWAL(s.fs, tmpPath)
 	}()
 	if err != nil {
 		return err
@@ -905,7 +938,7 @@ func (s *Store) compactWALLocked() error {
 	if err := nw.f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, filepath.Join(s.dir, walName)); err != nil {
+	if err := s.fs.Rename(tmpPath, filepath.Join(s.dir, walName)); err != nil {
 		return err
 	}
 	// Past the rename the old WAL inode is unlinked: any failure from
@@ -913,12 +946,12 @@ func (s *Store) compactWALLocked() error {
 	// Append reports success, so it must poison the store instead of
 	// merely erroring.
 	if !s.opt.NoSync {
-		if err := syncDir(s.dir); err != nil {
+		if err := s.fs.SyncDir(s.dir); err != nil {
 			return s.failLocked(err)
 		}
 	}
 	old := s.w
-	w, err := openWAL(filepath.Join(s.dir, walName))
+	w, err := openWAL(s.fs, filepath.Join(s.dir, walName))
 	if err != nil {
 		return s.failLocked(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/vfs"
 	"repro/internal/wire"
 )
 
@@ -44,7 +45,7 @@ var castagnoli = wire.Castagnoli
 
 // wal is the appender half; replay is a free function over raw bytes.
 type wal struct {
-	f    *os.File
+	f    vfs.File
 	bw   *bufio.Writer
 	size int64 // logical file size including buffered bytes
 
@@ -54,8 +55,8 @@ type wal struct {
 	scratch []byte // reused payload encode buffer
 }
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fs vfs.FS, path string) (*wal, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -158,9 +159,9 @@ func replayWAL(data []byte, apply func(walRecord)) (good int64, records int64, e
 
 // quarantineTail moves data[good:] into dir/wal.quarantine (appending
 // a fresh section each time) and truncates the WAL file to good.
-func quarantineTail(dir, walPath string, data []byte, good int64) (int64, error) {
+func quarantineTail(fs vfs.FS, dir, walPath string, data []byte, good int64) (int64, error) {
 	tail := data[good:]
-	qf, err := os.OpenFile(filepath.Join(dir, walQuarantine), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	qf, err := fs.OpenFile(filepath.Join(dir, walQuarantine), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return 0, err
 	}
@@ -175,7 +176,7 @@ func quarantineTail(dir, walPath string, data []byte, good int64) (int64, error)
 	if err := qf.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Truncate(walPath, good); err != nil {
+	if err := fs.Truncate(walPath, good); err != nil {
 		return 0, err
 	}
 	return int64(len(tail)), nil

@@ -1,9 +1,9 @@
 //go:build !unix
 
-package tsdb
+package vfs
 
-import "os"
+import "io"
 
 // lockDir is a no-op where flock is unavailable; single-process use is
 // the operator's responsibility on such platforms.
-func lockDir(dir string) (*os.File, error) { return nil, nil }
+func lockDir(dir string) (io.Closer, error) { return nil, nil }

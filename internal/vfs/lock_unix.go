@@ -1,0 +1,30 @@
+//go:build unix
+
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK, refusing to
+// open a directory another process already owns — two writers
+// appending the same WAL would interleave frames (CRC carnage on
+// replay) and race each other's segment renames. The lock dies with
+// the process, so a crashed owner never wedges the directory. flock
+// locks are per open-file-description, so a second handle within the
+// same process is refused too.
+func lockDir(dir string) (io.Closer, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: %v", ErrLocked, dir, err)
+	}
+	return f, nil
+}

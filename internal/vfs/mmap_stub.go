@@ -1,6 +1,6 @@
 //go:build !unix
 
-package tsdb
+package vfs
 
 import (
 	"io"
@@ -16,8 +16,8 @@ type Mapping struct {
 	Data []byte
 }
 
-// MapFile loads path into an aligned in-memory buffer.
-func MapFile(path string) (*Mapping, error) {
+// mapFile loads path into an aligned in-memory buffer.
+func mapFile(path string) (*Mapping, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,6 @@
 //go:build unix
 
-package tsdb
+package vfs
 
 import (
 	"fmt"
@@ -18,9 +18,9 @@ type Mapping struct {
 	mapped bool
 }
 
-// MapFile maps path read-only. An empty file yields an empty, valid
+// mapFile maps path read-only. An empty file yields an empty, valid
 // mapping.
-func MapFile(path string) (*Mapping, error) {
+func mapFile(path string) (*Mapping, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -35,11 +35,11 @@ func MapFile(path string) (*Mapping, error) {
 		return &Mapping{}, nil
 	}
 	if size != int64(int(size)) {
-		return nil, fmt.Errorf("tsdb: %s too large to map (%d bytes)", path, size)
+		return nil, fmt.Errorf("vfs: %s too large to map (%d bytes)", path, size)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
-		return nil, fmt.Errorf("tsdb: mmap %s: %w", path, err)
+		return nil, fmt.Errorf("vfs: mmap %s: %w", path, err)
 	}
 	return &Mapping{Data: data, mapped: true}, nil
 }

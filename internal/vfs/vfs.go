@@ -1,0 +1,100 @@
+// Package vfs is the filesystem seam under the durable storage layer
+// (internal/tsdb): every operation whose failure the store must
+// survive — open, write, fsync, rename, truncate, mmap, directory
+// sync, directory lock — goes through the FS interface instead of the
+// os package directly.
+//
+// Production code uses OS, a zero-cost passthrough. Tests use Fault
+// (fault.go), which wraps any FS with a seeded, deterministic fault
+// plan — ENOSPC after N writes, EIO on the next fsync, a torn write,
+// slow I/O, or a full crash at operation N — so every recovery path
+// in the store is a reproducible table test instead of a lucky crash.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrLocked reports a directory whose advisory lock another process
+// (or another open handle in this one) already holds.
+var ErrLocked = errors.New("vfs: directory locked by another process")
+
+// File is the writable-file surface the storage layer needs. *os.File
+// satisfies it.
+type File interface {
+	io.Writer
+	// Name reports the path the file was opened or created with.
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam. Implementations must be safe for
+// concurrent use (the store calls them under its own locking, but
+// background flushes overlap foreground commits).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs a directory so a just-renamed file survives a
+	// crash.
+	SyncDir(dir string) error
+	// MapFile maps name read-only (a real mmap on unix, an aligned
+	// in-memory copy elsewhere). An empty file yields an empty, valid
+	// mapping.
+	MapFile(name string) (*Mapping, error)
+	// Lock takes an exclusive advisory lock on dir (flock on dir/LOCK
+	// where available), wrapping ErrLocked when another holder exists.
+	// Closing the returned Closer releases the lock; it may be nil on
+	// platforms without locking.
+	Lock(dir string) (io.Closer, error)
+}
+
+// OS is the production FS: direct passthrough to the os package.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (OS) MapFile(name string) (*Mapping, error) { return mapFile(name) }
+func (OS) Lock(dir string) (io.Closer, error)    { return lockDir(dir) }

@@ -1,0 +1,233 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS{}
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(sub, "f.bin")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	moved := filepath.Join(sub, "g.bin")
+	if err := fs.Rename(path, moved); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	data, err := fs.ReadFile(moved)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	m, err := fs.MapFile(moved)
+	if err != nil {
+		t.Fatalf("MapFile: %v", err)
+	}
+	if string(m.Data) != "hello world" {
+		t.Fatalf("mapped data = %q", m.Data)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Mapping.Close: %v", err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.Truncate(moved, 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	data, _ = fs.ReadFile(moved)
+	if string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if err := fs.Remove(moved); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestOSLockExcludesSecondHolder(t *testing.T) {
+	fs := OS{}
+	dir := t.TempDir()
+	l1, err := fs.Lock(dir)
+	if err != nil {
+		t.Fatalf("first Lock: %v", err)
+	}
+	if l1 == nil {
+		t.Skip("no directory locking on this platform")
+	}
+	if _, err := fs.Lock(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Lock = %v, want ErrLocked", err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatalf("unlock: %v", err)
+	}
+	l2, err := fs.Lock(dir)
+	if err != nil {
+		t.Fatalf("relock after release: %v", err)
+	}
+	l2.Close()
+}
+
+// writeN writes n single-byte writes to a fresh file, returning the
+// first error.
+func writeN(fs FS, path string, n int) error {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < n; i++ {
+		if _, err := f.Write([]byte{byte(i)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestFaultErrAfterN(t *testing.T) {
+	dir := t.TempDir()
+	enospc := errors.New("no space left on device")
+	fs := NewFault(OS{}, 1).AddRule(Rule{Op: OpWrite, After: 3, Err: enospc})
+	err := writeN(fs, filepath.Join(dir, "f"), 10)
+	if !errors.Is(err, enospc) {
+		t.Fatalf("err = %v, want injected ENOSPC", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if len(data) != 3 {
+		t.Fatalf("3 writes should have landed, got %d bytes", len(data))
+	}
+}
+
+func TestFaultTimesBound(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS{}, 1).AddRule(Rule{Op: OpWrite, After: 1, Times: 2, Err: ErrInjected})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var errs int
+	for i := 0; i < 6; i++ {
+		if _, err := f.Write([]byte{1}); err != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d times, want 2", errs)
+	}
+}
+
+func TestFaultPathMatch(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS{}, 1).AddRule(Rule{Op: OpWrite, Path: "wal", Err: ErrInjected})
+	if err := writeN(fs, filepath.Join(dir, "wal.log"), 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wal write = %v, want injected", err)
+	}
+	if err := writeN(fs, filepath.Join(dir, "other.log"), 1); err != nil {
+		t.Fatalf("unrelated write failed: %v", err)
+	}
+}
+
+func TestFaultTornWriteDeterministic(t *testing.T) {
+	lens := make([]int, 2)
+	for trial := 0; trial < 2; trial++ {
+		dir := t.TempDir()
+		fs := NewFault(OS{}, 42).AddRule(Rule{Op: OpWrite, Torn: true, Err: ErrInjected})
+		f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1000)
+		n, werr := f.Write(buf)
+		f.Close()
+		if !errors.Is(werr, ErrInjected) {
+			t.Fatalf("torn write error = %v", werr)
+		}
+		if n >= len(buf) {
+			t.Fatalf("torn write persisted the whole buffer (%d)", n)
+		}
+		data, _ := os.ReadFile(filepath.Join(dir, "f"))
+		if len(data) != n {
+			t.Fatalf("on-disk prefix %d != reported %d", len(data), n)
+		}
+		lens[trial] = n
+	}
+	if lens[0] != lens[1] {
+		t.Fatalf("same seed, different torn lengths: %d vs %d", lens[0], lens[1])
+	}
+}
+
+func TestFaultCrashAt(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS{}, 1)
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAt(3)
+	if _, err := f.Write([]byte{1}); err != nil { // op 2: still alive
+		t.Fatalf("pre-crash write: %v", err)
+	}
+	if _, err := f.Write([]byte{2}); !errors.Is(err, ErrCrashed) { // op 3: crash
+		t.Fatalf("crash-op write = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after crash")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	// Close still releases the descriptor, reporting the crash.
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash close = %v", err)
+	}
+	if _, err := fs.OpenFile(filepath.Join(dir, "g"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+	fs.Reset()
+	if err := writeN(fs, filepath.Join(dir, "g"), 1); err != nil {
+		t.Fatalf("healed write: %v", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if len(data) != 1 {
+		t.Fatalf("only the acknowledged pre-crash byte should persist, got %d", len(data))
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS{}, 1).AddRule(Rule{Op: OpSync, Delay: 30 * time.Millisecond})
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("slow sync errored: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("sync returned in %v, want >= 30ms delay", elapsed)
+	}
+}
