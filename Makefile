@@ -1,9 +1,9 @@
 # Build / verification entry points.
 #
-#   make check     - tier-1 gate: build everything, vet, gofmt -l, run
-#                    all tests under the race detector (the server is
-#                    concurrent; plain `go test` would miss data
-#                    races). Run `make fuzz-short` alongside before
+#   make check     - tier-1 gate: build everything, vet, efdvet lint,
+#                    gofmt -l, run all tests under the race detector
+#                    (the server is concurrent; plain `go test` would
+#                    miss data races). Run `make fuzz-short` alongside before
 #                    merging storage or codec changes — it exercises
 #                    the on-disk decoders the race tests cannot reach
 #                    with adversarial bytes.
@@ -29,16 +29,23 @@
 #                    (includes the server throughput pair at -cpu 8)
 #   make bench-compare - benchstat (or a plain-awk fallback) over the
 #                    two most recent BENCH_<rev>.txt files
-#   make vet       - static analysis only
+#   make vet       - static analysis only (the stock go vet pass)
+#   make lint      - the repo's own analyzers: efdvet (internal/
+#                    analysis, documented in LINTS.md) enforcing the
+#                    vfs seam, the off-lock group-commit rule, the
+#                    hot-path allocation contract, errors.Is on
+#                    sentinels, and no process exits in libraries;
+#                    exit 2 means the tree failed to typecheck and
+#                    the analyzers never ran
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 FUZZTIME ?= 10s
 CHAOSTIME ?= 2s
 
-.PHONY: check test test-race vet fmt-check bench bench-compare fuzz-short chaos-short
+.PHONY: check test test-race vet lint fmt-check bench bench-compare fuzz-short chaos-short
 
-check: test-race vet fmt-check chaos-short
+check: test-race vet lint fmt-check chaos-short
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -53,6 +60,9 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/efdvet ./...
 
 # Go's fuzzer takes one -fuzz pattern per invocation, so each decoder
 # gets its own bounded run; seed corpora make even a short run cover

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule lays out a throwaway module so the driver's exit codes
+// can be exercised against trees in known states.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module fixturedriver\n\ngo 1.22\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runIn(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	t.Chdir(dir)
+	out, err := os.CreateTemp(t.TempDir(), "efdvet-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(args, out, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\n// Add adds.\nfunc Add(x, y int) int { return x + y }\n",
+	})
+	code, out := runIn(t, dir)
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d\noutput:\n%s", code, exitClean, out)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"os\"\n\n// Quit exits from a library.\nfunc Quit() { os.Exit(1) }\n",
+	})
+	code, out := runIn(t, dir)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d\noutput:\n%s", code, exitFindings, out)
+	}
+	if !strings.Contains(out, "[noexit]") {
+		t.Fatalf("output missing the noexit finding:\n%s", out)
+	}
+}
+
+// TestLoadFailureExitTwo: a tree that does not typecheck means the
+// analyzers never ran — a distinct exit code and message, so CI logs
+// answer "dirty or broken?" directly.
+func TestLoadFailureExitTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nfunc f() int { return undefined }\n",
+	})
+	code, out := runIn(t, dir)
+	if code != exitLoadFail {
+		t.Fatalf("exit = %d, want %d\noutput:\n%s", code, exitLoadFail, out)
+	}
+	if !strings.Contains(out, "analyzers did not run") {
+		t.Fatalf("load-failure message missing:\n%s", out)
+	}
+}
+
+// TestBadPatternExitTwo: a pattern matching nothing is a load
+// failure, not a clean run.
+func TestBadPatternExitTwo(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\n// Add adds.\nfunc Add(x, y int) int { return x + y }\n",
+	})
+	code, out := runIn(t, dir, "./nosuchdir")
+	if code != exitLoadFail {
+		t.Fatalf("exit = %d, want %d\noutput:\n%s", code, exitLoadFail, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"os\"\n\n// Quit exits from a library.\nfunc Quit() { os.Exit(1) }\n",
+	})
+	code, out := runIn(t, dir, "-json")
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d\noutput:\n%s", code, exitFindings, out)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Rule != "noexit" {
+		t.Fatalf("diags = %+v, want one noexit finding", diags)
+	}
+}

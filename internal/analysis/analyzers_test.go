@@ -1,0 +1,77 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func fixture(name string) string { return filepath.Join("testdata", "src", name) }
+
+// tsdbFixturePrefix is a synthetic import path containing the
+// internal/tsdb segment, putting a fixture in scope for the
+// storage-layer analyzers.
+const tsdbFixturePrefix = "fixture/internal/tsdb/"
+
+func TestVFSSeam(t *testing.T) {
+	diags := analysistest.Run(t, fixture("vfsseam"), tsdbFixturePrefix+"vfsseam", analysis.VFSSeam)
+	if len(diags) == 0 {
+		t.Fatal("vfsseam produced no findings on its fixture")
+	}
+}
+
+// TestVFSSeamOutOfScope loads the same fixture under a path outside
+// internal/tsdb: the seam rules must not fire there — os is fine in,
+// say, cmd/efd.
+func TestVFSSeamOutOfScope(t *testing.T) {
+	_, diags := analysistest.Diagnostics(t, fixture("vfsseam"), "fixture/plain/vfsseam", analysis.VFSSeam)
+	if len(diags) != 0 {
+		t.Fatalf("vfsseam fired outside internal/tsdb: %v", diags)
+	}
+}
+
+func TestLockDiscipline(t *testing.T) {
+	diags := analysistest.Run(t, fixture("lockdiscipline"), tsdbFixturePrefix+"lockdiscipline", analysis.LockDiscipline)
+	if len(diags) == 0 {
+		t.Fatal("lockdiscipline produced no findings on its fixture")
+	}
+}
+
+func TestLockDisciplineOutOfScope(t *testing.T) {
+	_, diags := analysistest.Diagnostics(t, fixture("lockdiscipline"), "fixture/plain/lockdiscipline", analysis.LockDiscipline)
+	if len(diags) != 0 {
+		t.Fatalf("lockdiscipline fired outside internal/tsdb: %v", diags)
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	diags := analysistest.Run(t, fixture("hotpath"), "fixture/hotpath", analysis.HotPath)
+	if len(diags) == 0 {
+		t.Fatal("hotpath produced no findings on its fixture")
+	}
+}
+
+func TestErrIs(t *testing.T) {
+	diags := analysistest.Run(t, fixture("erris"), "fixture/erris", analysis.ErrIs)
+	if len(diags) == 0 {
+		t.Fatal("erris produced no findings on its fixture")
+	}
+}
+
+func TestNoExit(t *testing.T) {
+	diags := analysistest.Run(t, fixture("noexit"), "fixture/noexit", analysis.NoExit)
+	if len(diags) == 0 {
+		t.Fatal("noexit produced no findings on its fixture")
+	}
+}
+
+// TestNoExitMainExempt: package main owns the process, so the same
+// calls that fail a library are silent there.
+func TestNoExitMainExempt(t *testing.T) {
+	_, diags := analysistest.Diagnostics(t, fixture("noexitmain"), "fixture/noexitmain", analysis.NoExit)
+	if len(diags) != 0 {
+		t.Fatalf("noexit fired in package main: %v", diags)
+	}
+}

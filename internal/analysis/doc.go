@@ -1,0 +1,44 @@
+// Package analysis hosts efdvet, the repo's custom static-analysis
+// suite: a stdlib-only framework (go/parser + go/ast + go/types over
+// a from-source importer, zero module dependencies) plus the five
+// analyzers that mechanically enforce invariants earlier PRs paid for
+// in benchmarks and crash tests:
+//
+//	vfsseam        every internal/tsdb filesystem operation flows
+//	               through the vfs.FS seam (PR 6) — otherwise fault
+//	               injection and CrashAt sweeps silently lose
+//	               coverage of it
+//	lockdiscipline no fsync / record encoding / direct file writes
+//	               inside the tsdb store-mutex critical sections —
+//	               the off-lock group-commit rule (PR 4)
+//	hotpath        functions marked //efd:hotpath stay free of fmt,
+//	               time.Now, runtime string concatenation, and map
+//	               allocation (PR 1/3 allocation-free contract)
+//	erris          sentinel errors are matched with errors.Is, not
+//	               ==/!= (PR 5 typed-sentinel contract), excepting
+//	               io.EOF from a direct Reader.Read
+//	noexit         library packages never terminate or panic on
+//	               error values; only cmd/* may (PR 5 embeddability)
+//
+// The cmd/efdvet driver loads ./..., runs the suite, and prints
+// file:line:col: [rule] message (or -json). Findings are suppressed
+// in place with
+//
+//	//efdvet:ignore <rule> <reason>
+//
+// on or directly above the offending line; the reason is mandatory,
+// and a suppression whose finding has disappeared is itself reported
+// (stale) so the gate cannot rot. LINTS.md at the repo root documents
+// each rule, the invariant it guards, and the PR that established it.
+//
+// Test files are deliberately out of scope: the suite checks shipped
+// code, and tests legitimately reach around seams (fault injection
+// handles, sentinel identity assertions).
+//
+// The framework typechecks everything from source — module packages
+// resolve against the module tree, the rest against GOROOT — so the
+// suite needs no compiled export data, no go/packages, and no
+// network. A full ./... pass over this repo costs a few seconds; the
+// meta-test in zero_findings_test.go runs exactly that on every make
+// check, so the tree is always lint-clean by construction.
+package analysis

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestTreeClean is the dogfood gate: every analyzer over every
+// package of the real module must produce zero unsuppressed findings.
+// A new violation — or a suppression whose finding has since been
+// fixed — fails this test (and `make lint`) until addressed.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — pattern expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Suppress(pkg, analysis.Run(pkg, analysis.All)) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrIs enforces the PR 5 error contract: sentinel errors are matched
+// with errors.Is, never ==/!= — the public packages wrap their
+// sentinels (`fmt.Errorf("%w: ...", ErrUnknownJob)`), so identity
+// comparison silently stops matching the moment a call site gains
+// context. One idiom is exempt: comparing == io.EOF on an error that
+// came from a direct Reader.Read call, whose contract returns the
+// bare sentinel (wrapping it is the implementation's bug).
+var ErrIs = &Analyzer{
+	Name: "erris",
+	Doc:  "compare sentinel errors with errors.Is, not ==/!= (io.EOF from a direct Read excepted)",
+	Run:  runErrIs,
+}
+
+func runErrIs(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				checkErrCompare(pass, fd.Body, be)
+				return true
+			})
+		}
+	}
+}
+
+func checkErrCompare(pass *Pass, body *ast.BlockStmt, be *ast.BinaryExpr) {
+	sentinel := sentinelError(pass, be.X)
+	other := be.Y
+	if sentinel == nil {
+		sentinel = sentinelError(pass, be.Y)
+		other = be.X
+	}
+	if sentinel == nil {
+		return
+	}
+	if isPkgVar(sentinel, "io", "EOF") && fromDirectRead(pass, body, other) {
+		return
+	}
+	op := "=="
+	if be.Op == token.NEQ {
+		op = "!="
+	}
+	name := sentinel.Name()
+	if sentinel.Pkg() != nil && sentinel.Pkg() != pass.Pkg {
+		name = sentinel.Pkg().Name() + "." + name
+	}
+	pass.Reportf(be.Pos(),
+		"sentinel %s matched with %s: use errors.Is — a wrapped sentinel (%%w) compares false by identity", name, op)
+}
+
+// sentinelError resolves e to a package-level error variable (io.EOF,
+// tsdb.ErrClosed, ...) or nil.
+func sentinelError(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isPkgVar(v *types.Var, pkgPath, name string) bool {
+	return v.Pkg() != nil && v.Pkg().Path() == pkgPath && v.Name() == name
+}
+
+// fromDirectRead reports whether e is a variable that some assignment
+// in the enclosing function body fills from a direct Read call with
+// the io.Reader shape — `n, err := r.Read(buf)` — the one producer
+// whose contract hands back bare io.EOF. The whole body is searched
+// rather than exact reaching definitions: a lexical pass errs on the
+// side of allowing the documented idiom.
+func fromDirectRead(pass *Pass, body *ast.BlockStmt, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		assignsObj := false
+		for _, lhs := range as.Lhs {
+			if lid, ok := lhs.(*ast.Ident); ok {
+				if pass.Info.Defs[lid] == obj || pass.Info.Uses[lid] == obj {
+					assignsObj = true
+					break
+				}
+			}
+		}
+		if !assignsObj {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isReaderRead(pass, call) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isReaderRead reports whether call invokes a Read-named method or
+// function with the io.Reader result shape (..., int, error) taking a
+// []byte.
+func isReaderRead(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	if name != "Read" && name != "ReadAt" {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	if !implementsError(sig.Results().At(1).Type()) {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if s, ok := sig.Params().At(i).Type().Underlying().(*types.Slice); ok {
+			if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				return true
+			}
+		}
+	}
+	return false
+}

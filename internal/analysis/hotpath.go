@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathMarker is the doc-comment directive that opts a function
+// into the hot-path allocation rules.
+const HotPathMarker = "//efd:hotpath"
+
+// HotPath keeps the recognition, wire-codec, and sealed-window paths
+// allocation-free (the PR 1/3 contract): inside a function whose doc
+// comment carries //efd:hotpath, no fmt calls, no time.Now/Since, no
+// non-constant string concatenation, and no map allocation. The
+// point is catching alloc regressions at review time instead of bench
+// time — formatting belongs in cold helpers the error path calls.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//efd:hotpath functions must stay free of fmt, time.Now, string concat, and map allocation",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !commentHasDirective(fd.Doc, HotPathMarker) {
+				continue
+			}
+			h := &hotWalker{pass: pass, covered: make(map[ast.Expr]bool)}
+			ast.Inspect(fd.Body, h.visit)
+		}
+	}
+}
+
+type hotWalker struct {
+	pass *Pass
+	// covered marks string-concat operands already reported through
+	// their parent expression, so a+b+c yields one finding, not two.
+	covered map[ast.Expr]bool
+}
+
+func (h *hotWalker) visit(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		h.call(x)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && h.isAllocatingConcat(x) {
+			if !h.covered[x] {
+				h.pass.Reportf(x.Pos(), "string concatenation allocates in a hot path: build into a reused []byte instead")
+			}
+			h.covered[ast.Unparen(x.X)] = true
+			h.covered[ast.Unparen(x.Y)] = true
+		}
+	case *ast.AssignStmt:
+		if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && h.isString(x.Lhs[0]) {
+			h.pass.Reportf(x.Pos(), "string += allocates in a hot path: build into a reused []byte instead")
+		}
+	case *ast.CompositeLit:
+		if tv, ok := h.pass.Info.Types[x]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				h.pass.Reportf(x.Pos(), "map literal allocates in a hot path: hoist it to a package var or the enclosing struct")
+			}
+		}
+	}
+	return true
+}
+
+func (h *hotWalker) call(x *ast.CallExpr) {
+	if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" {
+		if _, isBuiltin := h.pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(x.Args) > 0 {
+			if tv, ok := h.pass.Info.Types[x.Args[0]]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					h.pass.Reportf(x.Pos(), "map allocation (make) in a hot path: hoist it out or reuse across calls")
+				}
+			}
+		}
+		return
+	}
+	fn := calleeFunc(h.pass.Info, x)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		h.pass.Reportf(x.Pos(), "fmt.%s in a hot path allocates: move formatting to a cold error-path helper", fn.Name())
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			h.pass.Reportf(x.Pos(), "time.%s in a hot path costs a clock read per call: take the timestamp once outside", fn.Name())
+		}
+	}
+}
+
+// isAllocatingConcat reports whether e is a string + that survives to
+// runtime: constant-folded concatenations ("a" + "b") cost nothing
+// and stay legal.
+func (h *hotWalker) isAllocatingConcat(e *ast.BinaryExpr) bool {
+	tv, ok := h.pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (h *hotWalker) isString(e ast.Expr) bool {
+	tv, ok := h.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

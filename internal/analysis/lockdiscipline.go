@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockDiscipline enforces the PR 4 off-lock group-commit rule inside
+// internal/tsdb: critical sections of a sync.Mutex/RWMutex must not
+// fsync (Sync/SyncDir family), encode records (encode* calls), or
+// write directly to a file — the disk work happens before the lock or
+// after it, so concurrent appenders never stall behind an fsync. The
+// sections are resolved lexically: statements between a Lock/RLock
+// call and the matching Unlock at the same nesting (a deferred Unlock
+// extends the section to the end of the function), plus — for the
+// fsync family only — the whole body of functions following the
+// *Locked naming convention, which run under a mutex their caller
+// holds. The blessed exceptions (the rare lifecycle records' simple
+// commit form, the compactor's documented stop-the-world) carry
+// //efdvet:ignore suppressions where they stand.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no fsync/encode/direct file writes under the tsdb store mutex",
+	Run:  runLockDiscipline,
+}
+
+// syncFamily are the fsync-shaped names: the operations whose latency
+// a held mutex turns into a store-wide stall.
+var syncFamily = map[string]bool{
+	"Sync":    true,
+	"sync":    true,
+	"SyncDir": true,
+	"Fsync":   true,
+}
+
+// fileWriteNames are direct-write methods that only count when the
+// receiver is a file (vfs.File or *os.File) — buffered writers are
+// memory traffic and explicitly fine under the mutex.
+var fileWriteNames = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"ReadFrom":    true,
+}
+
+func runLockDiscipline(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path(), tsdbScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, lockedBody: strings.HasSuffix(fd.Name.Name, "Locked")}
+			w.stmts(fd.Body.List, false)
+		}
+	}
+}
+
+type lockWalker struct {
+	pass *Pass
+	// lockedBody marks a *Locked function: the caller holds the store
+	// mutex for the whole body, so the fsync family is banned
+	// throughout even with no lexical Lock in sight.
+	lockedBody bool
+}
+
+// stmts scans one statement list in order, tracking the lexical lock
+// state. Nested blocks inherit the state but do not leak changes back
+// out: an Unlock inside an early-return branch does not end the
+// section on the fall-through path.
+func (w *lockWalker) stmts(list []ast.Stmt, locked bool) {
+	for _, stmt := range list {
+		locked = w.stmt(stmt, locked)
+	}
+}
+
+// stmt scans one statement and returns the lock state after it.
+func (w *lockWalker) stmt(stmt ast.Stmt, locked bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch w.mutexOp(call) {
+			case "Lock", "RLock":
+				return true
+			case "Unlock", "RUnlock":
+				return false
+			}
+		}
+		w.exprs(s, locked)
+	case *ast.DeferStmt:
+		switch w.mutexOp(s.Call) {
+		case "Unlock", "RUnlock":
+			// The section now runs to the end of the function; the
+			// state simply stays locked.
+			return locked
+		}
+		w.exprs(s, locked)
+	case *ast.GoStmt:
+		// A spawned goroutine does not run under the caller's lock.
+		w.exprs(s, false)
+	case *ast.BlockStmt:
+		w.stmts(s.List, locked)
+	case *ast.IfStmt:
+		w.maybeExpr(s.Init, locked)
+		w.exprNode(s.Cond, locked)
+		w.stmts(s.Body.List, locked)
+		if s.Else != nil {
+			w.stmt(s.Else, locked)
+		}
+	case *ast.ForStmt:
+		w.maybeExpr(s.Init, locked)
+		w.exprNode(s.Cond, locked)
+		w.maybeExpr(s.Post, locked)
+		w.stmts(s.Body.List, locked)
+	case *ast.RangeStmt:
+		w.exprNode(s.X, locked)
+		w.stmts(s.Body.List, locked)
+	case *ast.SwitchStmt:
+		w.maybeExpr(s.Init, locked)
+		w.exprNode(s.Tag, locked)
+		w.caseBodies(s.Body, locked)
+	case *ast.TypeSwitchStmt:
+		w.maybeExpr(s.Init, locked)
+		w.maybeExpr(s.Assign, locked)
+		w.caseBodies(s.Body, locked)
+	case *ast.SelectStmt:
+		w.caseBodies(s.Body, locked)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, locked)
+	default:
+		w.exprs(stmt, locked)
+	}
+	return locked
+}
+
+func (w *lockWalker) caseBodies(body *ast.BlockStmt, locked bool) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.exprNode(e, locked)
+			}
+			w.stmts(c.Body, locked)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, locked)
+			}
+			w.stmts(c.Body, locked)
+		}
+	}
+}
+
+func (w *lockWalker) maybeExpr(n ast.Stmt, locked bool) {
+	if n != nil {
+		w.exprs(n, locked)
+	}
+}
+
+func (w *lockWalker) exprNode(e ast.Expr, locked bool) {
+	if e != nil {
+		w.exprs(e, locked)
+	}
+}
+
+// exprs inspects a non-sectioning node for banned calls, descending
+// into function literals with the current state: a closure built in a
+// critical section is assumed to run in it (extract a named function
+// and suppress with a reason if it truly does not).
+func (w *lockWalker) exprs(n ast.Node, locked bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			w.stmts(x.Body.List, locked)
+			return false
+		case *ast.CallExpr:
+			w.checkCall(x, locked)
+		}
+		return true
+	})
+}
+
+// checkCall reports x when it is a banned operation for the current
+// state.
+func (w *lockWalker) checkCall(x *ast.CallExpr, locked bool) {
+	sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+	name := ""
+	if ok {
+		name = sel.Sel.Name
+	} else if id, isId := ast.Unparen(x.Fun).(*ast.Ident); isId {
+		name = id.Name
+	}
+	if name == "" {
+		return
+	}
+	if syncFamily[name] && (locked || w.lockedBody) {
+		w.pass.Reportf(x.Pos(),
+			"fsync (%s) under the store mutex: group commit syncs off-lock so appends never stall behind the disk (PR 4)", name)
+		return
+	}
+	if !locked {
+		return
+	}
+	if lower := strings.ToLower(name); strings.HasPrefix(lower, "encode") {
+		w.pass.Reportf(x.Pos(),
+			"record encoding (%s) under the store mutex: encode into scratch before taking the lock (PR 4)", name)
+		return
+	}
+	if fileWriteNames[name] && ok && w.isFileRecv(sel) {
+		w.pass.Reportf(x.Pos(),
+			"direct file write (%s) under the store mutex: hand bytes to the buffered writer or move the I/O off-lock", name)
+	}
+}
+
+// isFileRecv reports whether the method's receiver is a raw file —
+// vfs.File or *os.File — rather than a buffered writer.
+func (w *lockWalker) isFileRecv(sel *ast.SelectorExpr) bool {
+	tv, ok := w.pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isNamed(tv.Type, "internal/vfs", "File") || isNamed(tv.Type, "os", "File")
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex operation,
+// returning the method name ("Lock", "Unlock", ...) or "".
+func (w *lockWalker) mutexOp(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	tv, ok := w.pass.Info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	n := namedType(tv.Type)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return sel.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoExit keeps process termination out of library packages: the
+// monitor is embeddable (efd/monitor is an engine inside someone
+// else's process — PR 5), so only package main gets to call os.Exit
+// or log.Fatal, and nobody gets to panic on an ordinary error value.
+// Invariant panics with a string message remain legal.
+var NoExit = &Analyzer{
+	Name: "noexit",
+	Doc:  "library packages must not os.Exit/log.Fatal or panic on error values; only cmd/* terminates the process",
+	Run:  runNoExit,
+}
+
+// fatalLogNames are the std log package's process-terminating calls.
+var fatalLogNames = map[string]bool{
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+func runNoExit(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) == 1 {
+					if tv, ok := pass.Info.Types[call.Args[0]]; ok && implementsError(tv.Type) {
+						pass.Reportf(call.Pos(),
+							"panic on an error value in a library package: return the error (embedding hosts own the process)")
+					}
+				}
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case isPkgFunc(fn, "os", "Exit"):
+				pass.Reportf(call.Pos(),
+					"os.Exit in a library package: only cmd/* may terminate the process")
+			case fn.Pkg().Path() == "log" && fatalLogNames[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"log.%s in a library package terminates the process: return the error to the caller", fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// MetaRule is the rule name under which the framework itself reports:
+// malformed and stale suppression comments. Meta findings cannot be
+// suppressed — a suppression that suppresses its own audit trail
+// would let the lint gate rot silently.
+const MetaRule = "efdvet"
+
+// suppressPrefix introduces a suppression comment:
+//
+//	//efdvet:ignore <rule> <reason>
+//
+// It silences findings of <rule> on the same line (trailing form) or
+// on the line directly below (standalone form). The reason is
+// mandatory: an exception to an invariant is only acceptable written
+// down, and LINTS.md documents the blessed ones.
+const suppressPrefix = "//efdvet:ignore"
+
+type suppression struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// Suppress applies //efdvet:ignore comments in the package to the raw
+// findings: suppressed findings are dropped, and malformed or stale
+// (matching nothing) suppressions are reported as MetaRule findings,
+// so a suppression outliving its finding fails the gate until it is
+// deleted. Returns the surviving findings, position-sorted.
+func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var sups []*suppression
+	kept := diags[:0]
+	var meta []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, suppressPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					meta = append(meta, metaDiag(pos,
+						"malformed suppression: want //efdvet:ignore <rule> <reason>"))
+					continue
+				}
+				sups = append(sups, &suppression{pos: pos, rule: fields[0], reason: strings.Join(fields[1:], " ")})
+			}
+		}
+	}
+	for _, d := range diags {
+		if d.Rule == MetaRule || !suppressed(sups, d) {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			meta = append(meta, metaDiag(s.pos,
+				"stale suppression: no %s finding on this or the next line (%s)", s.rule, s.reason))
+		}
+	}
+	kept = append(kept, meta...)
+	sortDiagnostics(kept)
+	return kept
+}
+
+func metaDiag(pos token.Position, format string, args ...any) Diagnostic {
+	d := Diagnostic{Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column, Rule: MetaRule}
+	d.Message = fmt.Sprintf(format, args...)
+	return d
+}
+
+// suppressed reports whether some suppression covers d, marking the
+// first match used. Every matching suppression on the line is marked:
+// two identical comments both cover the finding, and neither should
+// then read as stale.
+func suppressed(sups []*suppression, d Diagnostic) bool {
+	hit := false
+	for _, s := range sups {
+		if s.rule != d.Rule || s.pos.Filename != d.File {
+			continue
+		}
+		if s.pos.Line == d.Line || s.pos.Line == d.Line-1 {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
+}

@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestSuppress runs noexit over the suppress fixture and checks the
+// full suppression ledger: trailing and standalone forms drop their
+// findings, a wrong-rule suppression leaves the finding and goes
+// stale, a reasonless one is malformed, and the meta rule itself
+// cannot be suppressed.
+func TestSuppress(t *testing.T) {
+	pkg, raw := analysistest.Diagnostics(t, fixture("suppress"), "fixture/suppress", analysis.NoExit)
+	if len(raw) != 5 {
+		t.Fatalf("raw findings = %d, want 5 (one per os.Exit): %v", len(raw), raw)
+	}
+	kept := analysis.Suppress(pkg, raw)
+
+	count := func(rule, substr string) int {
+		n := 0
+		for _, d := range kept {
+			if d.Rule == rule && strings.Contains(d.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("noexit", ""); got != 3 {
+		t.Errorf("surviving noexit findings = %d, want 3 (Abort, Leave, Mask): %v", got, kept)
+	}
+	if got := count(analysis.MetaRule, "malformed suppression"); got != 2 {
+		t.Errorf("malformed-suppression findings = %d, want 2: %v", got, kept)
+	}
+	if got := count(analysis.MetaRule, "stale suppression"); got != 2 {
+		t.Errorf("stale-suppression findings = %d, want 2: %v", got, kept)
+	}
+	if got := count(analysis.MetaRule, "no vfsseam finding"); got != 1 {
+		t.Errorf("stale wrong-rule suppression findings = %d, want 1: %v", got, kept)
+	}
+	// The suppression aimed at the meta rule never matches anything —
+	// meta findings are exempt from suppression by design.
+	if got := count(analysis.MetaRule, "no efdvet finding"); got != 1 {
+		t.Errorf("stale meta-rule suppression findings = %d, want 1: %v", got, kept)
+	}
+	if len(kept) != 7 {
+		t.Errorf("total kept = %d, want 7: %v", len(kept), kept)
+	}
+}

@@ -1,0 +1,55 @@
+// Package erris exercises the erris analyzer: sentinel errors are
+// matched with errors.Is, with the io.EOF direct-Read allowance.
+package erris
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrClosed is a package-level sentinel like the ones the efd
+// packages export (and wrap with %w).
+var ErrClosed = errors.New("erris: closed")
+
+type poller struct{ err error }
+
+func (p *poller) next() error { return p.err }
+
+// Classify compares sentinels by identity: both operand orders and
+// both operators are flagged; errors.Is is the required form.
+func Classify(err error) int {
+	if err == ErrClosed { // want `sentinel ErrClosed matched with ==`
+		return 0
+	}
+	if ErrClosed != err { // want `sentinel ErrClosed matched with !=`
+		return 1
+	}
+	if errors.Is(err, ErrClosed) {
+		return 2
+	}
+	return 3
+}
+
+// Drain reads a Reader directly: the io.Reader contract hands back
+// bare io.EOF, so the identity comparison is the documented
+// allowance.
+func Drain(r io.Reader, buf []byte) (int, error) {
+	total := 0
+	for {
+		n, err := r.Read(buf)
+		total += n
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// Relay gets its error from an arbitrary call, not a direct Read: the
+// allowance does not apply.
+func Relay(p *poller) bool {
+	err := p.next()
+	return err == io.EOF // want `sentinel io.EOF matched with ==`
+}

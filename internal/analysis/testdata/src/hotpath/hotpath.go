@@ -1,0 +1,38 @@
+// Package hotpath exercises the hotpath analyzer: the rules bind only
+// inside functions whose doc comment carries the //efd:hotpath
+// marker.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+// decode is a marked hot function: every allocating idiom below is
+// flagged.
+//
+//efd:hotpath
+func decode(name, field string, n int) (string, error) {
+	if n < 0 {
+		return "", fmt.Errorf("bad count %d", n) // want `fmt.Errorf in a hot path allocates`
+	}
+	start := time.Now() // want `time.Now in a hot path costs a clock read`
+	_ = start
+	key := name + ":" + field // want `string concatenation allocates in a hot path`
+	key += "!"                // want `string \+= allocates in a hot path`
+	seen := map[string]int{}  // want `map literal allocates in a hot path`
+	seen[key] = n
+	idx := make(map[string]int, n) // want `map allocation \(make\) in a hot path`
+	_ = idx
+	buf := make([]byte, 0, n)
+	buf = append(buf, key...)
+	const prefix = "efd" + ":"
+	_ = prefix
+	return key, nil
+}
+
+// format is cold — no marker, so fmt stays legal here.
+func format(n int) string { return fmt.Sprintf("%d", n) }
+
+var _ = decode
+var _ = format

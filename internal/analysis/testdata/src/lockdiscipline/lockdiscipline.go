@@ -1,0 +1,83 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer. The
+// tests load it under a synthetic internal/tsdb import path.
+package lockdiscipline
+
+import (
+	"bufio"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+type store struct {
+	mu  sync.Mutex
+	f   vfs.File
+	w   *bufio.Writer
+	buf []byte
+}
+
+func encodeRecord(dst []byte) []byte { return append(dst, 0) }
+
+// Append holds the mutex across encode, a direct file write, and the
+// fsync — each a banned operation in a critical section.
+func (s *store) Append(b []byte) error {
+	s.mu.Lock()
+	s.buf = encodeRecord(s.buf)             // want `record encoding \(encodeRecord\) under the store mutex`
+	if _, err := s.f.Write(b); err != nil { // want `direct file write \(Write\) under the store mutex`
+		s.mu.Unlock()
+		return err
+	}
+	err := s.f.Sync() // want `fsync \(Sync\) under the store mutex`
+	s.mu.Unlock()
+	return err
+}
+
+// Flush uses a deferred unlock, so the section runs to the end of the
+// function: the sync is still under the mutex.
+func (s *store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `fsync \(Sync\) under the store mutex`
+}
+
+// Buffer hands bytes to the buffered writer under the mutex — memory
+// traffic, explicitly fine.
+func (s *store) Buffer(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(b)
+}
+
+// Commit is the compliant group-commit shape: stage under the lock,
+// write and sync after releasing it.
+func (s *store) Commit(b []byte) error {
+	s.mu.Lock()
+	s.buf = append(s.buf[:0], b...)
+	out := s.buf
+	s.mu.Unlock()
+	if _, err := s.f.Write(out); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Background spawns the sync onto a goroutine, which does not run
+// under the caller's lock.
+func (s *store) Background() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.f.Sync() }()
+}
+
+// syncLocked follows the *Locked naming convention: the caller holds
+// the mutex, so the fsync family is banned across the whole body even
+// with no lexical Lock in sight.
+func (s *store) syncLocked() error {
+	return s.f.Sync() // want `fsync \(Sync\) under the store mutex`
+}
+
+// stageLocked may encode: only the fsync family is banned by the
+// naming convention alone (encoding is cheap; fsync stalls).
+func (s *store) stageLocked(b []byte) {
+	s.buf = encodeRecord(append(s.buf, b...))
+}

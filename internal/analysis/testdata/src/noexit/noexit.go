@@ -1,0 +1,28 @@
+// Package noexit exercises the noexit analyzer in a library package:
+// process termination belongs to cmd/* alone.
+package noexit
+
+import (
+	"log"
+	"os"
+)
+
+// Shutdown terminates the process from a library: every form is
+// flagged.
+func Shutdown(err error) {
+	if err != nil {
+		log.Fatalf("shutdown: %v", err) // want `log.Fatalf in a library package terminates the process`
+	}
+	os.Exit(0) // want `os.Exit in a library package`
+}
+
+// Check panics on an error value — flagged — while invariant panics
+// with a plain message stay legal.
+func Check(ok bool, err error) {
+	if err != nil {
+		panic(err) // want `panic on an error value in a library package`
+	}
+	if !ok {
+		panic("noexit: impossible state")
+	}
+}

@@ -1,0 +1,15 @@
+// Command noexitmain exercises the noexit analyzer's exemption:
+// package main owns the process and may terminate it.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		log.Fatal("too many arguments")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,42 @@
+// Package suppress exercises //efdvet:ignore handling: trailing and
+// standalone forms, a wrong-rule suppression going stale, the
+// mandatory reason, and the unsuppressable meta rule.
+package suppress
+
+import "os"
+
+// Quit is suppressed with the trailing form: the finding is dropped
+// and the suppression counts as used.
+func Quit() {
+	os.Exit(1) //efdvet:ignore noexit fixture: blessed exception
+}
+
+// Stop is suppressed with the standalone form, which covers the next
+// line.
+func Stop() {
+	//efdvet:ignore noexit fixture: standalone form
+	os.Exit(2)
+}
+
+// Abort carries a suppression for the wrong rule: the finding
+// survives and the suppression is reported stale.
+func Abort() {
+	//efdvet:ignore vfsseam fixture: wrong rule
+	os.Exit(3)
+}
+
+// Leave carries a reasonless suppression: malformed, and the finding
+// survives.
+func Leave() {
+	//efdvet:ignore noexit
+	os.Exit(4)
+}
+
+// Mask tries to suppress the framework's own audit trail: meta
+// findings cannot be ignored, so the efdvet suppression goes stale
+// and the malformed one below it is still reported.
+func Mask() {
+	//efdvet:ignore efdvet fixture: cannot silence the auditor
+	//efdvet:ignore noexit
+	os.Exit(5)
+}

@@ -1,0 +1,47 @@
+// Package vfsseam exercises the vfsseam analyzer. The tests load it
+// under a synthetic internal/tsdb import path, which puts it in scope
+// for the storage-layer seam rules.
+package vfsseam
+
+import (
+	"errors"
+	"os"
+	"syscall" // want `import "syscall" bypasses the vfs seam`
+
+	"repro/internal/vfs"
+)
+
+// Constants, sentinel errors, and types from os stay legal — only
+// behavior bypasses the seam.
+var flags = os.O_CREATE | os.O_WRONLY
+
+var _ = syscall.O_RDONLY
+
+// pinned constructs the real filesystem inline instead of taking it
+// from Options, cutting injected faults out of the path.
+var pinned vfs.FS = vfs.OS{} // want `vfs\.OS\{\} constructed inside internal/tsdb pins the real disk`
+
+// Open reaches around the seam to the os package directly.
+func Open(path string) error {
+	if dir := os.Getenv("EFD_DIR"); dir != "" {
+		path = dir
+	}
+	f, err := os.OpenFile(path, flags, 0o644) // want `os.OpenFile bypasses the vfs seam`
+	if err != nil {
+		return err
+	}
+	return f.Sync() // want `os.Sync bypasses the vfs seam`
+}
+
+// OpenSeam is the compliant form: every filesystem operation flows
+// through the injected FS.
+func OpenSeam(fs vfs.FS, path string) error {
+	f, err := fs.OpenFile(path, flags, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errorIface is the universe error interface, for implements checks.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (as-is, no implicit addressing)
+// satisfies the error interface.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// pathHasSegment reports whether the import path contains seg as a
+// complete slash-delimited run, e.g. pathHasSegment("a/internal/tsdb",
+// "internal/tsdb") — suffix, prefix, and interior positions all match,
+// partial segment names ("internal/tsdbx") do not.
+func pathHasSegment(path, seg string) bool {
+	return strings.Contains("/"+path+"/", "/"+seg+"/")
+}
+
+// calleeFunc resolves the function or method a call statically
+// invokes, or nil for builtins, type conversions, and calls through
+// function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function from the package
+// with the given import path.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or
+// nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isNamed reports whether t names pkgSuffix.name (the package matched
+// by import-path suffix segment, so fixtures and the real module both
+// qualify).
+func isNamed(t types.Type, pkgSuffix, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return n.Obj().Name() == name && (p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix) || pathHasSegment(p, pkgSuffix))
+}
+
+// commentHasDirective reports whether any comment in the group is the
+// given directive (e.g. "//efd:hotpath"). Directive-style comments are
+// stripped by CommentGroup.Text, so the raw list is scanned.
+func commentHasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// tsdbScope is the import-path segment that puts a package under the
+// storage-layer seam rules (vfsseam, lockdiscipline).
+const tsdbScope = "internal/tsdb"
+
+// VFSSeam enforces the PR 6 I/O seam: every filesystem operation in
+// internal/tsdb must flow through vfs.FS, or the fault-injection and
+// CrashAt chaos sweeps silently lose coverage of it. Constants,
+// sentinel errors, and types from os remain fine — only behavior
+// (function and method uses) bypasses the seam.
+var VFSSeam = &Analyzer{
+	Name: "vfsseam",
+	Doc:  "internal/tsdb file I/O must go through the vfs.FS seam, not os/syscall",
+	Run:  runVFSSeam,
+}
+
+// osAllowed are os functions with no filesystem or process-state
+// side effects worth intercepting.
+var osAllowed = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Getpid":    true,
+}
+
+func runVFSSeam(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path(), tsdbScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "syscall" || path == "golang.org/x/sys" || strings.HasPrefix(path, "golang.org/x/sys/") {
+				pass.Reportf(imp.Pos(),
+					"import %q bypasses the vfs seam: tsdb I/O must flow through vfs.FS so fault injection covers it", path)
+			}
+		}
+	}
+	// Any use of an os function or method — os.OpenFile as a call or
+	// as a value, (*os.File).Sync on a smuggled handle — is a seam
+	// bypass. Identifier uses catch both forms.
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			continue
+		}
+		if osAllowed[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"os.%s bypasses the vfs seam (fault injection and CrashAt sweeps cannot see it): use the store's vfs.FS", fn.Name())
+	}
+	// Constructing vfs.OS{} pins the real disk, cutting any injected
+	// Fault wrapper out of the path: tsdb code must take its FS from
+	// Options.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.Info.Types[lit]; ok && isNamed(tv.Type, "internal/vfs", "OS") {
+				pass.Reportf(lit.Pos(),
+					"vfs.OS{} constructed inside internal/tsdb pins the real disk: take the FS from Options so faults inject")
+			}
+			return true
+		})
+	}
+}

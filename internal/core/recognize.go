@@ -146,6 +146,8 @@ func (d *Dictionary) NewRecognizer() *Recognizer {
 // extract runs the shared extraction walk into the recognizer's reused
 // buffers and renders the canonical key bytes at the dictionary's
 // depth.
+//
+//efd:hotpath
 func (r *Recognizer) extract(src WindowSource) {
 	extractRawInto(&r.raw, src, r.d.cfg.Metrics, r.d.cfg.Windows, r.d.cfg.Joint)
 	r.d.keysFromRaw(&r.ks, r.raw)
@@ -157,6 +159,8 @@ func (r *Recognizer) extract(src WindowSource) {
 // with the most votes wins. Ties are returned in learning order, so the
 // caller can still "consider the first application name in the array"
 // as the paper does.
+//
+//efd:hotpath
 func (r *Recognizer) Recognize(src WindowSource) Result {
 	r.extract(src)
 	return r.vote(false)
@@ -167,12 +171,16 @@ func (r *Recognizer) Recognize(src WindowSource) Result {
 // single vote, so frequently repeated fingerprints outweigh one-off
 // noise keys. This is an extension beyond the paper (which votes
 // uniformly); the voting ablation compares the two.
+//
+//efd:hotpath
 func (r *Recognizer) RecognizeWeighted(src WindowSource) Result {
 	r.extract(src)
 	return r.vote(true)
 }
 
 // grow returns s resized to n elements, all zero, reusing capacity.
+//
+//efd:hotpath
 func grow(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
@@ -188,6 +196,8 @@ func grow(s []int32, n int) []int32 {
 // the dense accumulators. It contains no map allocation: bucket lookup
 // is by integer-coordinate struct, key lookup passes the buffered bytes
 // directly, and votes accumulate per interned app ID.
+//
+//efd:hotpath
 func (r *Recognizer) vote(weighted bool) Result {
 	d := r.d
 	r.votes = grow(r.votes, len(d.apps))

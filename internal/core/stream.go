@@ -59,6 +59,8 @@ func NewStream(d *Dictionary, nodes int) *Stream {
 // Feed delivers one sample. Samples outside every configured window,
 // for unconfigured metrics, or for out-of-range nodes are ignored, so
 // the monitor can blindly forward its full stream.
+//
+//efd:hotpath
 func (s *Stream) Feed(metric string, node int, offset time.Duration, value float64) {
 	if offset > s.seen {
 		s.seen = offset
@@ -97,6 +99,8 @@ func (s *Stream) Feed(metric string, node int, offset time.Duration, value float
 // once, instead of per sample; the per-accumulator update sequence is
 // identical to feeding the samples one by one, so the resulting state
 // is exactly the same. Offsets and values must have equal length.
+//
+//efd:hotpath
 func (s *Stream) FeedRun(metric string, node int, offsets []time.Duration, values []float64) {
 	for _, off := range offsets {
 		if off > s.seen {

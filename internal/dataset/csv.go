@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -94,7 +95,7 @@ func LoadCSV(r io.Reader) (*Dataset, error) {
 	byID := make(map[int]*Execution)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

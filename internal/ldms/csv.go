@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -185,7 +186,7 @@ func ReadNodeCSV(r io.Reader, node int) (*telemetry.NodeSet, error) {
 	var flat []float64
 	for line := 2; ; line++ {
 		row, err := lr.next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -291,7 +292,7 @@ func ReadNodeCSVStd(r io.Reader, node int) (*telemetry.NodeSet, error) {
 	}
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -387,14 +387,20 @@ var ErrShortSeries = errors.New("telemetry: series does not cover window")
 // windows.
 var ErrUnsortedSeries = errors.New("telemetry: series has out-of-order samples; call Sort first")
 
+// errInvalidWindow is the cold formatting helper for window's invalid
+// bound rejection, kept out of the //efd:hotpath body.
+func errInvalidWindow(w Window) error { return fmt.Errorf("telemetry: invalid window %v", w) }
+
 // window resolves the [lo, hi) sample range covered by w. On the
 // implicit grid the bounds are integer arithmetic (O(1)); with an
 // explicit offset column they binary-search it. It is strictly
 // read-only: flagged-unsorted series are rejected, never sorted in
 // place, so concurrent reads of a well-formed series are race-free.
+//
+//efd:hotpath
 func (s *Series) window(w Window) (lo, hi int, err error) {
 	if !w.Valid() {
-		return 0, 0, fmt.Errorf("telemetry: invalid window %v", w)
+		return 0, 0, errInvalidWindow(w)
 	}
 	if s.unsorted {
 		return 0, 0, ErrUnsortedSeries
@@ -445,6 +451,8 @@ func (s *Series) Slice(w Window) ([]float64, error) {
 // length either way. Unsealed series are scanned without materializing
 // a slice; both paths accumulate in double-double precision and round
 // the same correctly-rounded window sum.
+//
+//efd:hotpath
 func (s *Series) WindowMean(w Window) (float64, error) {
 	lo, hi, err := s.window(w)
 	if err != nil {
@@ -467,6 +475,8 @@ func (s *Series) WindowMean(w Window) (float64, error) {
 // slice functions. After SealStats all four power sums come from
 // prefix subtractions, so the cost is independent of window length;
 // otherwise the window is scanned once.
+//
+//efd:hotpath
 func (s *Series) WindowStats(w Window) (stats.Moments, error) {
 	lo, hi, err := s.window(w)
 	if err != nil {

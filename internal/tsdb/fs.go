@@ -9,4 +9,6 @@ import "repro/internal/vfs"
 type Mapping = vfs.Mapping
 
 // MapFile memory-maps path read-only via the real filesystem.
+//
+//efdvet:ignore vfsseam compat re-export for external readers; real disk is its documented contract
 func MapFile(path string) (*Mapping, error) { return vfs.OS{}.MapFile(path) }

@@ -48,7 +48,7 @@ func (o *Options) withDefaults() Options {
 		out.HistBins = telemetry.DefaultHistBins
 	}
 	if out.FS == nil {
-		out.FS = vfs.OS{}
+		out.FS = vfs.OS{} //efdvet:ignore vfsseam the documented default when no FS is injected
 	}
 	return out
 }
@@ -458,6 +458,7 @@ func (s *Store) Register(job string, nodes int) error {
 	if _, ok := s.live[job]; ok {
 		return fmt.Errorf("%w: %q", ErrJobExists, job)
 	}
+	//efdvet:ignore lockdiscipline rare lifecycle record; the documented simple form, see commitLocked
 	s.w.encodeRegister(job, nodes)
 	if err := s.w.append(); err != nil {
 		return s.failLocked(err)
@@ -606,6 +607,7 @@ func (s *Store) commitLocked() error {
 		s.commits++
 		return nil
 	}
+	//efdvet:ignore lockdiscipline the lifecycle commit form is deliberately on-lock; batches use Commit
 	if err := s.w.sync(); err != nil {
 		return s.failLocked(err)
 	}
@@ -636,6 +638,7 @@ func (s *Store) Finish(job, label string) error {
 	}
 	seq := s.nextSeq
 	s.nextSeq++
+	//efdvet:ignore lockdiscipline rare lifecycle record; the documented simple form, see commitLocked
 	s.w.encodeFinish(job, seq, label)
 	if err := s.w.append(); err != nil {
 		err = s.failLocked(err)
@@ -679,6 +682,7 @@ func (s *Store) Drop(job string) error {
 	if _, ok := s.live[job]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, job)
 	}
+	//efdvet:ignore lockdiscipline rare lifecycle record; the documented simple form, see commitLocked
 	s.w.encodeDrop(job)
 	if err := s.w.append(); err != nil {
 		return s.failLocked(err)
@@ -930,6 +934,7 @@ func (s *Store) compactWALLocked() error {
 		return err
 	}
 	if !s.opt.NoSync {
+		//efdvet:ignore lockdiscipline WAL compaction is a documented bounded stop-the-world, see the function doc
 		if err := nw.f.Sync(); err != nil {
 			nw.close()
 			return err
@@ -946,6 +951,7 @@ func (s *Store) compactWALLocked() error {
 	// Append reports success, so it must poison the store instead of
 	// merely erroring.
 	if !s.opt.NoSync {
+		//efdvet:ignore lockdiscipline WAL compaction is a documented bounded stop-the-world, see the function doc
 		if err := s.fs.SyncDir(s.dir); err != nil {
 			return s.failLocked(err)
 		}
@@ -984,7 +990,7 @@ func (s *Store) Close() error {
 	}
 	var syncErr error
 	if !s.opt.NoSync {
-		syncErr = s.w.sync()
+		syncErr = s.w.sync() //efdvet:ignore lockdiscipline final sync at Close; the store accepts no further appends
 	} else {
 		syncErr = s.w.bw.Flush()
 	}

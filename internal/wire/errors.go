@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cold error constructors. The encode/decode bodies are //efd:hotpath
+// — one fmt.Errorf inline would put a formatting allocation (and its
+// variadic boxing) on the per-frame path even when it never runs, and
+// efdvet's hotpath rule flags it. Corrupt input is the only consumer
+// of these, so the formatting cost moves entirely onto the cold path.
+// Argument-free errors are plain sentinels; errors.Is works across
+// all of them either way.
+
+var (
+	errBadVarint       = errors.New("wire: bad varint in record")
+	errTruncatedString = errors.New("wire: truncated string in record")
+	errTruncatedValues = errors.New("wire: truncated value column")
+	errEmptyRecord     = errors.New("wire: empty record")
+)
+
+func errTrailingBytes(n int) error {
+	return fmt.Errorf("wire: %d trailing bytes in record", n)
+}
+
+func errImplausibleRunLength(count uint64) error {
+	return fmt.Errorf("wire: implausible run length %d", count)
+}
+
+func errImplausibleNodeCount(n uint64) error {
+	return fmt.Errorf("wire: implausible node count %d", n)
+}
+
+func errImplausibleNode(node uint64) error {
+	return fmt.Errorf("wire: implausible node %d", node)
+}
+
+func errUnknownType(t byte) error {
+	return fmt.Errorf("wire: unknown record type %d", t)
+}
+
+func errNotRun(t byte) error {
+	return fmt.Errorf("wire: record type %d where run expected", t)
+}
+
+func errTornHeader(off int) error {
+	return fmt.Errorf("wire: torn frame header at %d", off)
+}
+
+func errTornRecord(off, n int) error {
+	return fmt.Errorf("wire: torn record at %d (%d bytes framed)", off, n)
+}
+
+func errCRCMismatch(off int) error {
+	return fmt.Errorf("wire: CRC mismatch at %d", off)
+}

@@ -20,7 +20,6 @@ package wire
 
 import (
 	"encoding/binary"
-	"fmt"
 	"hash/crc32"
 	"math"
 	"time"
@@ -52,12 +51,16 @@ const (
 var Castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // AppendUvarint appends v in unsigned varint encoding.
+//
+//efd:hotpath
 func AppendUvarint(b []byte, v uint64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	return append(b, tmp[:binary.PutUvarint(tmp[:], v)]...)
 }
 
 // AppendString appends a length-prefixed string.
+//
+//efd:hotpath
 func AppendString(b []byte, s string) []byte {
 	b = AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
@@ -73,6 +76,8 @@ func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // node, count, zigzag-varint offset deltas, raw float64 bits. Offset
 // deltas restart from zero per record, so a long run split across
 // several records decodes identically.
+//
+//efd:hotpath
 func AppendRun(b []byte, job, metric string, node int, offs []time.Duration, vals []float64) []byte {
 	b = append(b, TypeRun)
 	b = AppendString(b, job)
@@ -93,6 +98,8 @@ func AppendRun(b []byte, job, metric string, node int, offs []time.Duration, val
 }
 
 // AppendRegister appends a registration record's payload.
+//
+//efd:hotpath
 func AppendRegister(b []byte, job string, nodes int) []byte {
 	b = append(b, TypeRegister)
 	b = AppendString(b, job)
@@ -100,6 +107,8 @@ func AppendRegister(b []byte, job string, nodes int) []byte {
 }
 
 // AppendFinish appends a finish record's payload.
+//
+//efd:hotpath
 func AppendFinish(b []byte, job string, seq uint64, label string) []byte {
 	b = append(b, TypeFinish)
 	b = AppendString(b, job)
@@ -108,6 +117,8 @@ func AppendFinish(b []byte, job string, seq uint64, label string) []byte {
 }
 
 // AppendDrop appends a drop record's payload.
+//
+//efd:hotpath
 func AppendDrop(b []byte, job string) []byte {
 	b = append(b, TypeDrop)
 	return AppendString(b, job)
@@ -116,12 +127,16 @@ func AppendDrop(b []byte, job string) []byte {
 // PutFrameHeader writes the frame header (length + CRC-32C) for
 // payload into hdr, which must be at least FrameHeaderLen bytes — for
 // writers that stream the header and payload separately.
+//
+//efd:hotpath
 func PutFrameHeader(hdr, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, Castagnoli))
 }
 
 // AppendFrame appends the CRC frame header plus payload to dst.
+//
+//efd:hotpath
 func AppendFrame(dst, payload []byte) []byte {
 	var hdr [FrameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -145,22 +160,24 @@ type Record struct {
 
 type decoder struct{ b []byte }
 
+//efd:hotpath
 func (d *decoder) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(d.b)
 	if n <= 0 {
-		return 0, fmt.Errorf("wire: bad varint in record")
+		return 0, errBadVarint
 	}
 	d.b = d.b[n:]
 	return v, nil
 }
 
+//efd:hotpath
 func (d *decoder) str() (string, error) {
 	n, err := d.uvarint()
 	if err != nil {
 		return "", err
 	}
 	if n > uint64(len(d.b)) {
-		return "", fmt.Errorf("wire: truncated string in record")
+		return "", errTruncatedString
 	}
 	s := string(d.b[:n])
 	d.b = d.b[n:]
@@ -169,6 +186,8 @@ func (d *decoder) str() (string, error) {
 
 // decodeColumns parses the count, offset-delta, and value sections of
 // a run record, appending into the provided scratch (which may be nil).
+//
+//efd:hotpath
 func (d *decoder) decodeColumns(offs []time.Duration, vals []float64) ([]time.Duration, []float64, error) {
 	count, err := d.uvarint()
 	if err != nil {
@@ -179,7 +198,7 @@ func (d *decoder) decodeColumns(offs []time.Duration, vals []float64) ([]time.Du
 	// checked before the column allocations so a crafted length cannot
 	// balloon the decoder's memory.
 	if count > uint64(len(d.b))/9 {
-		return nil, nil, fmt.Errorf("wire: implausible run length %d", count)
+		return nil, nil, errImplausibleRunLength(count)
 	}
 	n := int(count)
 	prev := int64(0)
@@ -192,7 +211,7 @@ func (d *decoder) decodeColumns(offs []time.Duration, vals []float64) ([]time.Du
 		offs = append(offs, time.Duration(prev))
 	}
 	if len(d.b) < 8*n {
-		return nil, nil, fmt.Errorf("wire: truncated value column")
+		return nil, nil, errTruncatedValues
 	}
 	for i := 0; i < n; i++ {
 		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:])))
@@ -201,15 +220,18 @@ func (d *decoder) decodeColumns(offs []time.Duration, vals []float64) ([]time.Du
 	return offs, vals, nil
 }
 
+//efd:hotpath
 func (d *decoder) finish() error {
 	if len(d.b) != 0 {
-		return fmt.Errorf("wire: %d trailing bytes in record", len(d.b))
+		return errTrailingBytes(len(d.b))
 	}
 	return nil
 }
 
 // DecodeRecord parses one framed payload. The returned record's
 // columns are freshly allocated (they outlive the frame buffer).
+//
+//efd:hotpath
 func DecodeRecord(payload []byte) (Record, error) {
 	rec, d, err := decodeHead(payload)
 	if err != nil {
@@ -222,7 +244,7 @@ func DecodeRecord(payload []byte) (Record, error) {
 			return rec, err
 		}
 		if n == 0 || n > 1<<20 {
-			return rec, fmt.Errorf("wire: implausible node count %d", n)
+			return rec, errImplausibleNodeCount(n)
 		}
 		rec.Nodes = int(n)
 	case TypeRun:
@@ -239,14 +261,15 @@ func DecodeRecord(payload []byte) (Record, error) {
 	case TypeDrop:
 		// job only
 	default:
-		return rec, fmt.Errorf("wire: unknown record type %d", rec.Type)
+		return rec, errUnknownType(rec.Type)
 	}
 	return rec, d.finish()
 }
 
+//efd:hotpath
 func decodeHead(payload []byte) (Record, *decoder, error) {
 	if len(payload) == 0 {
-		return Record{}, nil, fmt.Errorf("wire: empty record")
+		return Record{}, nil, errEmptyRecord
 	}
 	rec := Record{Type: payload[0]}
 	d := &decoder{b: payload[1:]}
@@ -257,6 +280,7 @@ func decodeHead(payload []byte) (Record, *decoder, error) {
 	return rec, d, nil
 }
 
+//efd:hotpath
 func decodeRunBody(rec *Record, d *decoder) error {
 	var err error
 	if rec.Metric, err = d.str(); err != nil {
@@ -267,7 +291,7 @@ func decodeRunBody(rec *Record, d *decoder) error {
 		return err
 	}
 	if node > 1<<20 {
-		return fmt.Errorf("wire: implausible node %d", node)
+		return errImplausibleNode(node)
 	}
 	rec.Node = int(node)
 	rec.Offs, rec.Vals, err = d.decodeColumns(nil, nil)
@@ -278,6 +302,8 @@ func decodeRunBody(rec *Record, d *decoder) error {
 // into the provided scratch slices (reset them with [:0] between
 // calls) — the allocation-light form the server's binary ingest path
 // uses. Non-run records are an error.
+//
+//efd:hotpath
 func DecodeRunInto(payload []byte, offs []time.Duration, vals []float64) (rec Record, err error) {
 	var d *decoder
 	rec, d, err = decodeHead(payload)
@@ -285,7 +311,7 @@ func DecodeRunInto(payload []byte, offs []time.Duration, vals []float64) (rec Re
 		return rec, err
 	}
 	if rec.Type != TypeRun {
-		return rec, fmt.Errorf("wire: record type %d where run expected", rec.Type)
+		return rec, errNotRun(rec.Type)
 	}
 	if rec.Metric, err = d.str(); err != nil {
 		return rec, err
@@ -295,7 +321,7 @@ func DecodeRunInto(payload []byte, offs []time.Duration, vals []float64) (rec Re
 		return rec, err
 	}
 	if node > 1<<20 {
-		return rec, fmt.Errorf("wire: implausible node %d", node)
+		return rec, errImplausibleNode(node)
 	}
 	rec.Node = int(node)
 	if rec.Offs, rec.Vals, err = d.decodeColumns(offs, vals); err != nil {
@@ -310,20 +336,22 @@ func DecodeRunInto(payload []byte, offs []time.Duration, vals []float64) (rec Re
 // torn or corrupt frame — or at apply's first error, which is returned
 // with good pointing at the start of the frame that failed (so a WAL
 // replayer can quarantine from exactly there).
+//
+//efd:hotpath
 func WalkFrames(data []byte, apply func(payload []byte) error) (good int64, frames int64, err error) {
 	off := 0
 	for off < len(data) {
 		if len(data)-off < FrameHeaderLen {
-			return int64(off), frames, fmt.Errorf("wire: torn frame header at %d", off)
+			return int64(off), frames, errTornHeader(off)
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		crc := binary.LittleEndian.Uint32(data[off+4:])
 		if n > MaxRecord || len(data)-off-FrameHeaderLen < n {
-			return int64(off), frames, fmt.Errorf("wire: torn record at %d (%d bytes framed)", off, n)
+			return int64(off), frames, errTornRecord(off, n)
 		}
 		payload := data[off+FrameHeaderLen : off+FrameHeaderLen+n]
 		if crc32.Checksum(payload, Castagnoli) != crc {
-			return int64(off), frames, fmt.Errorf("wire: CRC mismatch at %d", off)
+			return int64(off), frames, errCRCMismatch(off)
 		}
 		if err := apply(payload); err != nil {
 			return int64(off), frames, err
