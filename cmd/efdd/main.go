@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 
 		maxIngestMB      = fs.Int("max-ingest-mb", 64, "ingest admission cap: in-flight payload megabytes across concurrent requests; exceeding it sheds with 429 + Retry-After (-1: unlimited)")
 		maxIngestBatches = fs.Int("max-ingest-batches", 256, "ingest admission cap: concurrent in-flight ingest requests (-1: unlimited)")
+		diskLowMB        = fs.Int("disk-low-mb", 0, "disk headroom watermark in megabytes: segment flushes are refused while the store volume has less free space, and a disk-full read-only engine waits for at least this much before resuming durable writes (0: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -104,7 +105,11 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 	srv := server.NewEngine(eng)
 
 	if *dataDir != "" {
-		recovered, err := eng.OpenStore(*dataDir, monitor.StoreOptions{})
+		opts := monitor.StoreOptions{}
+		if *diskLowMB > 0 {
+			opts.DiskLowBytes = int64(*diskLowMB) << 20
+		}
+		recovered, err := eng.OpenStore(*dataDir, opts)
 		if err != nil {
 			if errors.Is(err, tsdb.ErrLocked) {
 				// The flock is per-directory, so this is almost always a
@@ -113,11 +118,18 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 				// corruption.
 				return fmt.Errorf("data directory %s is locked by another efdd process (or one that did not exit); refusing to share a telemetry store", *dataDir)
 			}
-			return fmt.Errorf("open telemetry store: %w", err)
+			// Recovery already retried transient I/O failures and
+			// quarantined what it could not read; an error here means
+			// the store truly cannot open.
+			return fmt.Errorf("open telemetry store %s: recovery impossible: %w", *dataDir, err)
 		}
 		st := eng.Stats().Store
-		fmt.Fprintf(out, "efdd: telemetry store %s — %d jobs recovered, %d stored executions, %d segments\n",
-			*dataDir, recovered, st.Executions, st.Segments)
+		rec := eng.Store().Recovery()
+		fmt.Fprintf(out, "efdd: telemetry store %s — %d jobs recovered in %v (%d WAL records replayed), %d stored executions, %d segments\n",
+			*dataDir, recovered, rec.Duration.Round(time.Millisecond), rec.ReplayedRecords, st.Executions, st.Segments)
+		if rec.RetriedOps > 0 {
+			fmt.Fprintf(out, "efdd: store recovery retried %d transient I/O failures\n", rec.RetriedOps)
+		}
 		if st.QuarantinedWALBytes > 0 || st.QuarantinedSegments > 0 {
 			fmt.Fprintf(out, "efdd: store recovery quarantined %d WAL bytes, %d segments\n",
 				st.QuarantinedWALBytes, st.QuarantinedSegments)

@@ -391,3 +391,66 @@ func TestRunBadFlagsAndMissingDict(t *testing.T) {
 		t.Error("bogus flag: want error")
 	}
 }
+
+// TestDiskLowWatermarkFlag: -disk-low-mb reaches the store (the
+// health disk section reports the watermark) and the startup log
+// carries the recovery duration.
+func TestDiskLowWatermarkFlag(t *testing.T) {
+	dir := t.TempDir()
+	dictPath := writeTestDict(t, dir)
+	dataDir := filepath.Join(dir, "store")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	started := make(chan string, 1)
+	go func() {
+		done <- run(ctx, []string{"-dict", dictPath, "-addr", "127.0.0.1:0", "-data-dir", dataDir, "-disk-low-mb", "8"},
+			&out, func(a string) { started <- a })
+	}()
+	var base string
+	select {
+	case a := <-started:
+		base = "http://" + a
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Disk   *struct {
+			FreeBytes         int64 `json:"free_bytes"`
+			LowWatermarkBytes int64 `json:"low_watermark_bytes"`
+			ReadOnly          bool  `json:"read_only"`
+		} `json:"disk"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "healthy" || h.Disk == nil {
+		t.Fatalf("health = %+v, want healthy with a disk section", h)
+	}
+	if h.Disk.LowWatermarkBytes != 8<<20 || h.Disk.ReadOnly {
+		t.Fatalf("disk section = %+v, want low_watermark_bytes %d", h.Disk, 8<<20)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if log := out.String(); !strings.Contains(log, "jobs recovered in ") {
+		t.Errorf("startup log missing recovery duration:\n%s", log)
+	}
+}

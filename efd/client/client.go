@@ -23,6 +23,18 @@
 // For high-rate feeders, a BatchWriter buffers samples per job and
 // flushes them as multi-job batches by size and by interval, with a
 // bounded number of in-flight requests.
+//
+// # Failover
+//
+// NewMulti (or WithEndpoints) wires one client to several servers: a
+// background prober watches each endpoint's GET /v1/health, every
+// request routes to the job's home endpoint (deterministic FNV-1a
+// affinity, so one job's lifecycle stays on one server), and
+// idempotent reads walk forward to the next serving endpoint when the
+// home one is down, read-only, or has a tripped breaker. Writes stay
+// pinned to the home endpoint unless WithWriteFailover opts in to
+// at-least-once re-homing. Close a multi-endpoint client to stop the
+// prober.
 package client
 
 import (
@@ -80,30 +92,46 @@ func WithRetry(max int, base time.Duration) Option {
 // WithBinaryIngest selects the IngestRuns wire encoding.
 func WithBinaryIngest(mode BinaryMode) Option { return func(c *Client) { c.binary = mode } }
 
-// WithCircuitBreaker arms a client-wide circuit breaker: after
+// WithCircuitBreaker arms a circuit breaker — one per endpoint: after
 // threshold consecutive failed requests (connection errors, 5xx, 429)
-// the client fast-fails every call with ErrCircuitOpen for the
-// cooldown, then lets requests probe again — a success closes the
-// circuit, another failure re-opens it. Off by default: a breaker in
-// front of a monitoring service is a policy choice (a tripped breaker
-// drops telemetry on the floor), so callers opt in.
+// against an endpoint the client fast-fails its calls with
+// ErrCircuitOpen for the cooldown, then lets requests probe again — a
+// success closes the circuit, another failure re-opens it. Off by
+// default: a breaker in front of a monitoring service is a policy
+// choice (a tripped breaker drops telemetry on the floor), so callers
+// opt in. On a multi-endpoint client a tripped breaker only sidelines
+// its own endpoint; failover routes around it.
 func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
 	return func(c *Client) {
 		if threshold > 0 && cooldown > 0 {
-			c.br = &breaker{threshold: threshold, cooldown: cooldown}
+			c.brThreshold, c.brCooldown = threshold, cooldown
 		}
 	}
 }
 
-// Client is a typed client of one EFD monitoring server. It is safe
-// for concurrent use; all calls share one connection pool.
+// Client is a typed client of one EFD monitoring deployment — a
+// single server, or several with NewMulti. It is safe for concurrent
+// use; all calls share one connection pool.
 type Client struct {
-	base        string
 	hc          *http.Client
 	maxRetries  int
 	backoffBase time.Duration
 	binary      BinaryMode
-	br          *breaker // nil unless WithCircuitBreaker
+
+	// brThreshold/brCooldown are the WithCircuitBreaker policy; the
+	// per-endpoint breakers are built from them at construction.
+	brThreshold int
+	brCooldown  time.Duration
+
+	// eps are the endpoints, primary first; always at least one. The
+	// slice is immutable after construction — routing copies it.
+	eps           []*endpoint
+	writeFailover bool          // WithWriteFailover
+	probeEvery    time.Duration // health-probe cadence (multi only)
+
+	proberStop chan struct{} // nil on single-endpoint clients
+	proberWG   sync.WaitGroup
+	closeOnce  sync.Once
 
 	// binaryOK memoizes the negotiation outcome in BinaryAuto mode:
 	// 0 untried, 1 supported, -1 rejected (JSON from now on).
@@ -118,17 +146,7 @@ type encBuf struct{ payload, frames []byte }
 // "http://cluster-mon:8080"). The default policy retries idempotent
 // requests twice with 100 ms initial backoff.
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{
-		base:        strings.TrimSuffix(baseURL, "/"),
-		hc:          &http.Client{},
-		maxRetries:  2,
-		backoffBase: 100 * time.Millisecond,
-	}
-	c.encPool.New = func() any { return new(encBuf) }
-	for _, o := range opts {
-		o(c)
-	}
-	return c
+	return NewMulti([]string{baseURL}, opts...)
 }
 
 // ErrCircuitOpen is the fast-fail of a tripped circuit breaker (see
@@ -225,15 +243,36 @@ func retryable(status int) bool {
 	return false
 }
 
-// do performs one request with optional retries. body is re-sent from
-// the byte slice on every attempt; idempotent requests retry on
-// connection errors and 5xx, non-idempotent ones never retry (a
-// duplicated POST /v1/samples would double-feed streams).
+// transportErr marks a connection-level failure — the request may
+// never have reached a server — so idempotent retry and failover
+// apply. It unwraps to the underlying error before leaving the
+// client, preserving the single-endpoint error surface.
+type transportErr struct{ err error }
+
+func (e *transportErr) Error() string { return e.err.Error() }
+func (e *transportErr) Unwrap() error { return e.err }
+
+// do performs one request with affinity "" (fleet-level, no home
+// endpoint preference beyond the deterministic default).
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any, idempotent bool) error {
+	return c.doRouted(ctx, method, path, contentType, body, out, idempotent, "")
+}
+
+// doRouted performs one request with retries and failover. body is
+// re-sent from the byte slice on every attempt; idempotent requests
+// retry on connection errors and 5xx, non-idempotent ones never retry
+// (a duplicated POST /v1/samples would double-feed streams). On a
+// multi-endpoint client each retry pass walks the affinity-ordered
+// endpoints: idempotent requests fail over on transient errors, writes
+// only when WithWriteFailover opted in. Non-retryable statuses (404,
+// 400, 409, 413, 429 …) are authoritative answers and return at once —
+// another endpoint would just repeat them, or worse, hide them.
+func (c *Client) doRouted(ctx context.Context, method, path, contentType string, body []byte, out any, idempotent bool, affinity string) error {
 	attempts := 1
 	if idempotent {
 		attempts += c.maxRetries
 	}
+	failover := idempotent || c.writeFailover
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
@@ -244,93 +283,119 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			case <-time.After(backoff):
 			}
 		}
-		if c.br != nil && !c.br.allow() {
-			return ErrCircuitOpen
-		}
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-		if err != nil {
-			return err
-		}
-		if contentType != "" {
-			req.Header.Set("Content-Type", contentType)
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			c.recordOutcome(false)
-			if ctx.Err() != nil {
-				return ctx.Err()
+		order := c.routeOrder(affinity, !idempotent)
+		transient := 0 // non-breaker transient failures this pass
+		for i, ep := range order {
+			if i > 0 && !failover {
+				break
 			}
-			lastErr = err // connection-level failure: retryable if idempotent
-			continue
-		}
-		raw, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			c.recordOutcome(false)
-			lastErr = err
-			continue
-		}
-		// The breaker counts "is the service in trouble" signals — 5xx
-		// and shed ingest — not caller mistakes like a 404 or 400.
-		c.recordOutcome(resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests)
-		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-			if out == nil {
+			err := c.tryEndpoint(ctx, ep, method, path, contentType, body, out)
+			if err == nil {
 				return nil
 			}
-			return json.Unmarshal(raw, out)
+			if errors.Is(err, ErrCircuitOpen) {
+				continue // this endpoint is sidelined; the next may serve
+			}
+			var te *transportErr
+			var apiErr *APIError
+			switch {
+			case errors.As(err, &te):
+				transient++
+				lastErr = te.err
+			case errors.As(err, &apiErr) && retryable(apiErr.StatusCode):
+				transient++
+				lastErr = apiErr
+			default:
+				return err // authoritative answer or local failure
+			}
 		}
-		apiErr := decodeAPIError(resp.StatusCode, raw)
-		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
-			apiErr.RetryAfter = time.Duration(s) * time.Second
+		if transient == 0 {
+			// Every reachable endpoint's breaker is open: fast-fail
+			// rather than sleeping through retry passes that cannot
+			// send anything.
+			return ErrCircuitOpen
 		}
-		if !retryable(resp.StatusCode) {
-			return apiErr
-		}
-		lastErr = apiErr
 	}
 	return lastErr
 }
 
-func (c *Client) recordOutcome(ok bool) {
-	if c.br != nil {
-		c.br.record(ok)
+// tryEndpoint is one HTTP round-trip against one endpoint, through its
+// circuit breaker.
+func (c *Client) tryEndpoint(ctx context.Context, ep *endpoint, method, path, contentType string, body []byte, out any) error {
+	if ep.br != nil && !ep.br.allow() {
+		return ErrCircuitOpen
 	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, ep.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		ep.record(false)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &transportErr{err}
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		ep.record(false)
+		return &transportErr{err}
+	}
+	// The breaker counts "is the service in trouble" signals — 5xx
+	// and shed ingest — not caller mistakes like a 404 or 400.
+	ep.record(resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests)
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(raw, out)
+	}
+	apiErr := decodeAPIError(resp.StatusCode, raw)
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+		apiErr.RetryAfter = time.Duration(s) * time.Second
+	}
+	return apiErr
 }
 
-func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	return c.do(ctx, http.MethodGet, path, "", nil, out, true)
+func (c *Client) getJSON(ctx context.Context, path, affinity string, out any) error {
+	return c.doRouted(ctx, http.MethodGet, path, "", nil, out, true, affinity)
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+func (c *Client) postJSON(ctx context.Context, path, affinity string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, path, "application/json", body, out, false)
+	return c.doRouted(ctx, http.MethodPost, path, "application/json", body, out, false, affinity)
 }
 
 // --- the v1 surface ---------------------------------------------------
 
 // Health checks liveness.
 func (c *Client) Health(ctx context.Context) error {
-	return c.getJSON(ctx, "/healthz", nil)
+	return c.getJSON(ctx, "/healthz", "", nil)
 }
 
 // Dictionary fetches the dictionary statistics.
 func (c *Client) Dictionary(ctx context.Context) (monitor.DictionaryInfo, error) {
 	var out monitor.DictionaryInfo
-	err := c.getJSON(ctx, "/v1/dictionary", &out)
+	err := c.getJSON(ctx, "/v1/dictionary", "", &out)
 	return out, err
 }
 
 // Metrics fetches the service counters.
 func (c *Client) Metrics(ctx context.Context) (monitor.Stats, error) {
 	var out monitor.Stats
-	err := c.getJSON(ctx, "/v1/metrics", &out)
+	err := c.getJSON(ctx, "/v1/metrics", "", &out)
 	return out, err
 }
 
@@ -340,20 +405,20 @@ func (c *Client) Register(ctx context.Context, jobID string, nodes int) error {
 		JobID string `json:"job_id"`
 		Nodes int    `json:"nodes"`
 	}{jobID, nodes}
-	return c.postJSON(ctx, "/v1/jobs", in, nil)
+	return c.postJSON(ctx, "/v1/jobs", jobID, in, nil)
 }
 
 // Jobs lists live jobs, ID-sorted, paginated.
 func (c *Client) Jobs(ctx context.Context, offset, limit int) (monitor.Listing, error) {
 	var out monitor.Listing
-	err := c.getJSON(ctx, "/v1/jobs?offset="+strconv.Itoa(offset)+"&limit="+strconv.Itoa(limit), &out)
+	err := c.getJSON(ctx, "/v1/jobs?offset="+strconv.Itoa(offset)+"&limit="+strconv.Itoa(limit), "", &out)
 	return out, err
 }
 
 // Result fetches a job's current recognition state.
 func (c *Client) Result(ctx context.Context, jobID string) (monitor.State, error) {
 	var out monitor.State
-	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID), &out)
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID), jobID, &out)
 	return out, err
 }
 
@@ -368,7 +433,7 @@ type IngestResult struct {
 // Ingest feeds one job's samples (the single-job wire form).
 func (c *Client) Ingest(ctx context.Context, jobID string, samples []monitor.Sample) (int, error) {
 	var out IngestResult
-	err := c.postJSON(ctx, "/v1/samples", monitor.Batch{JobID: jobID, Samples: samples}, &out)
+	err := c.postJSON(ctx, "/v1/samples", jobID, monitor.Batch{JobID: jobID, Samples: samples}, &out)
 	return out.Accepted, err
 }
 
@@ -409,12 +474,19 @@ func runBatchIDs(batches []monitor.RunBatch) []string {
 }
 
 // ingestBatchesOnce is one multi-job JSON ingest request, unsplit.
+// Multi-job requests route by the first job's affinity: a feeder's
+// batches usually share a home endpoint anyway, and a deterministic
+// pick keeps the whole request on one server.
 func (c *Client) ingestBatchesOnce(ctx context.Context, batches []monitor.Batch) (IngestResult, error) {
 	in := struct {
 		Batches []monitor.Batch `json:"batches"`
 	}{batches}
+	affinity := ""
+	if len(batches) > 0 {
+		affinity = batches[0].JobID
+	}
 	var out IngestResult
-	err := c.postJSON(ctx, "/v1/samples", in, &out)
+	err := c.postJSON(ctx, "/v1/samples", affinity, in, &out)
 	return out, err
 }
 
@@ -587,8 +659,12 @@ func (c *Client) ingestRunsBinary(ctx context.Context, batches []monitor.RunBatc
 			enc.frames = wire.AppendFrame(enc.frames, enc.payload)
 		}
 	}
+	affinity := ""
+	if len(batches) > 0 {
+		affinity = batches[0].JobID
+	}
 	var out IngestResult
-	err := c.do(ctx, http.MethodPost, "/v1/samples", ContentTypeRuns, enc.frames, &out, false)
+	err := c.doRouted(ctx, http.MethodPost, "/v1/samples", ContentTypeRuns, enc.frames, &out, false, affinity)
 	c.encPool.Put(enc)
 	return out, err
 }
@@ -627,19 +703,19 @@ func (c *Client) Label(ctx context.Context, jobID, app, input string) (string, e
 	var out struct {
 		Learned string `json:"learned"`
 	}
-	err := c.postJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID)+"/label", in, &out)
+	err := c.postJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID)+"/label", jobID, in, &out)
 	return out.Learned, err
 }
 
 // Delete forgets a job's stream without learning it.
 func (c *Client) Delete(ctx context.Context, jobID string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(jobID), "", nil, nil, false)
+	return c.doRouted(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(jobID), "", nil, nil, false, jobID)
 }
 
 // Series dumps a job's telemetry from the server's durable store.
 func (c *Client) Series(ctx context.Context, jobID string) (monitor.SeriesDump, error) {
 	var out monitor.SeriesDump
-	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID)+"/series", &out)
+	err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(jobID)+"/series", jobID, &out)
 	return out, err
 }
 
@@ -648,14 +724,15 @@ func (c *Client) Executions(ctx context.Context) ([]monitor.ExecutionInfo, error
 	var out struct {
 		Executions []monitor.ExecutionInfo `json:"executions"`
 	}
-	err := c.getJSON(ctx, "/v1/executions", &out)
+	err := c.getJSON(ctx, "/v1/executions", "", &out)
 	return out.Executions, err
 }
 
 // RecognizeExecution re-recognizes a stored execution with the
-// dictionary as it stands now.
+// dictionary as it stands now. Executions live in their home
+// endpoint's store, so the ID routes like a job ID.
 func (c *Client) RecognizeExecution(ctx context.Context, id string) (monitor.State, error) {
 	var out monitor.State
-	err := c.do(ctx, http.MethodPost, "/v1/executions/"+url.PathEscape(id)+"/recognize", "", nil, &out, false)
+	err := c.doRouted(ctx, http.MethodPost, "/v1/executions/"+url.PathEscape(id)+"/recognize", "", nil, &out, false, id)
 	return out, err
 }

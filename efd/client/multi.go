@@ -1,0 +1,293 @@
+package client
+
+// Multi-endpoint failover: one Client over several efdd servers. A
+// background prober keeps a per-endpoint health snapshot from GET
+// /v1/health, requests route to a deterministic home endpoint by job
+// affinity, and the walk-forward order prefers endpoints the prober
+// last saw serving — so reads ride out an endpoint that is down or in
+// disk-full read-only mode, and (with WithWriteFailover) so do writes.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/efd/monitor"
+)
+
+// DefaultHealthProbeInterval is how often a multi-endpoint client
+// re-probes each endpoint's health.
+const DefaultHealthProbeInterval = 2 * time.Second
+
+// StatusDown is the Endpoints() status of an endpoint whose health
+// probe failed outright (unreachable, or a non-200 health response).
+// The serving statuses are the server's own health vocabulary:
+// monitor.StatusHealthy, monitor.StatusReadonly, monitor.StatusDegraded.
+const StatusDown = "down"
+
+// Endpoint health as the prober last saw it.
+const (
+	epUnknown  int32 = iota // never probed: assume serving
+	epHealthy               // durable and writable
+	epReadonly              // disk-full read-only: serves reads, sheds writes
+	epDegraded              // store lost: serves, but memory-only
+	epDown                  // unreachable or failing its health endpoint
+)
+
+// endpoint is one server behind a multi-endpoint client.
+type endpoint struct {
+	base  string
+	br    *breaker // nil unless WithCircuitBreaker
+	state atomic.Int32
+}
+
+func (ep *endpoint) record(ok bool) {
+	if ep.br != nil {
+		ep.br.record(ok)
+	}
+}
+
+// rank orders endpoints for routing: lower serves first. Reads prefer
+// healthy and read-only endpoints (both serve every read), then
+// degraded ones (serving, but memory-only), then down ones. Writes
+// demote read-only below degraded — a read-only endpoint certainly
+// sheds the write, a degraded one at least absorbs it.
+func (ep *endpoint) rank(write bool) int {
+	switch ep.state.Load() {
+	case epReadonly:
+		if write {
+			return 2
+		}
+		return 0
+	case epDegraded:
+		return 1
+	case epDown:
+		return 3
+	default: // epUnknown, epHealthy
+		return 0
+	}
+}
+
+// WithEndpoints adds failover endpoints after the primary, as if the
+// client had been built with NewMulti.
+func WithEndpoints(baseURLs ...string) Option {
+	return func(c *Client) {
+		for _, u := range baseURLs {
+			c.eps = append(c.eps, &endpoint{base: strings.TrimSuffix(u, "/")})
+		}
+	}
+}
+
+// WithWriteFailover lets non-idempotent requests (ingest, register,
+// label, delete) fail over to the next serving endpoint when the home
+// one is unreachable or answering retryably. Opt-in because it is
+// at-least-once: a write that died mid-flight may have been applied,
+// and re-homing it can double-feed a stream. Leave it off when exact
+// sample counts matter more than continuity of ingest.
+func WithWriteFailover() Option {
+	return func(c *Client) { c.writeFailover = true }
+}
+
+// WithHealthProbe sets the cadence of the background endpoint health
+// prober (default DefaultHealthProbeInterval). Multi-endpoint clients
+// only; a single-endpoint client never probes.
+func WithHealthProbe(interval time.Duration) Option {
+	return func(c *Client) {
+		if interval > 0 {
+			c.probeEvery = interval
+		}
+	}
+}
+
+// NewMulti returns a client over several equivalent servers — the
+// same service behind each base URL. The first URL is the primary.
+// Every job routes to a deterministic home endpoint (FNV-1a of the
+// job ID), keeping one job's whole lifecycle — registration, ingest,
+// reads, labelling — on one server; idempotent reads fail over to the
+// next serving endpoint, writes only with WithWriteFailover. A
+// background prober watches each endpoint's GET /v1/health; Close
+// stops it. Read failover assumes the job exists on the failover
+// target (mirrored feeders or a shared backend) — otherwise the
+// other server's 404 surfaces, which is itself an honest answer.
+func NewMulti(baseURLs []string, opts ...Option) *Client {
+	c := &Client{
+		hc:          &http.Client{},
+		maxRetries:  2,
+		backoffBase: 100 * time.Millisecond,
+		probeEvery:  DefaultHealthProbeInterval,
+	}
+	c.encPool.New = func() any { return new(encBuf) }
+	for _, u := range baseURLs {
+		c.eps = append(c.eps, &endpoint{base: strings.TrimSuffix(u, "/")})
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if len(c.eps) == 0 {
+		panic("client: NewMulti needs at least one base URL")
+	}
+	if c.brThreshold > 0 && c.brCooldown > 0 {
+		for _, ep := range c.eps {
+			ep.br = &breaker{threshold: c.brThreshold, cooldown: c.brCooldown}
+		}
+	}
+	if len(c.eps) > 1 {
+		c.proberStop = make(chan struct{})
+		c.proberWG.Add(1)
+		go c.probeLoop()
+	}
+	return c
+}
+
+// Close stops the background health prober of a multi-endpoint
+// client; on a single-endpoint client it is a no-op. Idempotent, and
+// the client remains usable afterwards (routing just stops getting
+// fresh health).
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		if c.proberStop != nil {
+			close(c.proberStop)
+			c.proberWG.Wait()
+		}
+	})
+}
+
+// EndpointHealth is one endpoint's last-probed health, for operators
+// and tests.
+type EndpointHealth struct {
+	Base string
+	// Status is "" (never probed), monitor.StatusHealthy,
+	// monitor.StatusReadonly, monitor.StatusDegraded, or StatusDown.
+	Status string
+}
+
+// Endpoints reports every endpoint with its last-probed health, in
+// configuration order (primary first).
+func (c *Client) Endpoints() []EndpointHealth {
+	out := make([]EndpointHealth, len(c.eps))
+	for i, ep := range c.eps {
+		h := EndpointHealth{Base: ep.base}
+		switch ep.state.Load() {
+		case epHealthy:
+			h.Status = monitor.StatusHealthy
+		case epReadonly:
+			h.Status = monitor.StatusReadonly
+		case epDegraded:
+			h.Status = monitor.StatusDegraded
+		case epDown:
+			h.Status = StatusDown
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// fnv1a is the job-affinity hash — the same FNV-1a the engine shards
+// job IDs by, so the routing is stable across client restarts and
+// implementations.
+func fnv1a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// routeOrder ranks the endpoints for one request: the affinity key
+// picks the home endpoint deterministically, walking forward from it
+// breaks ties, and endpoints the prober saw unhealthy sort after ones
+// it saw serving (stably, so the affinity order survives within each
+// health class).
+func (c *Client) routeOrder(affinity string, write bool) []*endpoint {
+	n := len(c.eps)
+	if n == 1 {
+		return c.eps
+	}
+	start := int(fnv1a(affinity) % uint32(n))
+	order := make([]*endpoint, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, c.eps[(start+i)%n])
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].rank(write) < order[j].rank(write)
+	})
+	return order
+}
+
+// probeLoop polls every endpoint's health until Close. The first
+// sweep runs immediately, so routing is informed from the start
+// rather than after a full interval of flying blind.
+func (c *Client) probeLoop() {
+	defer c.proberWG.Done()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	c.probeAll()
+	for {
+		select {
+		case <-c.proberStop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Client) probeAll() {
+	for _, ep := range c.eps {
+		select {
+		case <-c.proberStop:
+			return
+		default:
+		}
+		ep.state.Store(c.probeEndpoint(ep))
+	}
+}
+
+// probeEndpoint classifies one endpoint from its GET /v1/health. The
+// probe is bounded well under the probe interval so a hung endpoint
+// cannot stall the sweep into the next tick.
+func (c *Client) probeEndpoint(ep *endpoint) int32 {
+	timeout := c.probeEvery
+	if timeout > time.Second {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.base+"/v1/health", nil)
+	if err != nil {
+		return epDown
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return epDown
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return epDown
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if json.Unmarshal(body, &h) != nil {
+		return epDown
+	}
+	switch h.Status {
+	case monitor.StatusReadonly:
+		return epReadonly
+	case monitor.StatusDegraded:
+		return epDegraded
+	default:
+		return epHealthy
+	}
+}

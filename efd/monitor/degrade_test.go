@@ -228,7 +228,7 @@ func TestProbeReopensStore(t *testing.T) {
 func TestDegradeRegisterPoisoning(t *testing.T) {
 	e, fs := attachFaultStore(t, t.TempDir())
 	defer e.Close()
-	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.ENOSPC})
+	fs.AddRule(vfs.Rule{Op: vfs.OpSync, Err: syscall.EIO})
 	jb, err := e.Register("first", 2)
 	if err != nil {
 		t.Fatalf("Register across poisoning = %v, want memory-only admission", err)
@@ -238,6 +238,160 @@ func TestDegradeRegisterPoisoning(t *testing.T) {
 	}
 	if _, err := jb.Ingest(flat(6000, 2, 5)); err != nil {
 		t.Fatalf("ingest on memory-only job: %v", err)
+	}
+}
+
+// TestReadonlyOnDiskFull is the disk-full contract end to end: ENOSPC
+// on the WAL flips the engine to read-only (not degraded, not
+// poisoned), every read keeps serving, every write is shed with the
+// retryable ErrReadOnly, and once space frees the probe resumes
+// durable mode with the surviving job still WAL-backed — no acked
+// sample lost.
+func TestReadonlyOnDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	e, fs := attachFaultStore(t, dir)
+	defer e.Close()
+
+	jb, err := e.Register("tenant", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jb.Ingest(flat(6000, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the disk: free space reads 0 (so the probe cannot resume
+	// yet) and the next WAL write answers ENOSPC.
+	fs.SetFree(0)
+	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Err: syscall.ENOSPC})
+	if _, err := jb.Ingest(flat(6000, 2, 20)); !errors.Is(err, ErrReadOnly) || !errors.Is(err, ErrStore) {
+		t.Fatalf("disk-full ingest = %v, want ErrStore+ErrReadOnly", err)
+	}
+
+	h := e.Health()
+	if h.Status != StatusReadonly {
+		t.Fatalf("health = %q, want readonly", h.Status)
+	}
+	if h.Error == "" {
+		t.Error("readonly health carries no error")
+	}
+	if h.Disk == nil || !h.Disk.ReadOnly || h.Disk.FreeBytes != 0 {
+		t.Fatalf("disk section = %+v, want read_only with 0 free", h.Disk)
+	}
+	if got := e.Stats().Health; got != StatusReadonly {
+		t.Fatalf("Stats.Health = %q, want readonly", got)
+	}
+
+	// Every read keeps serving from the still-open store.
+	if _, err := jb.Result(); err != nil {
+		t.Fatalf("readonly Result: %v", err)
+	}
+	if lst, err := e.Jobs(0, 10); err != nil || lst.Total != 1 {
+		t.Fatalf("readonly Jobs = %+v, %v", lst, err)
+	}
+	if sd, err := e.Series("tenant"); err != nil || sd.Source != "live" {
+		t.Fatalf("readonly Series = %+v, %v", sd, err)
+	}
+	if _, err := e.Executions(); err != nil {
+		t.Fatalf("readonly Executions: %v", err)
+	}
+
+	// Every write is shed with the retryable identity.
+	if _, err := jb.Ingest(flat(6000, 2, 30)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("readonly ingest = %v, want ErrReadOnly", err)
+	}
+	if _, err := e.Register("newcomer", 2); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("readonly Register = %v, want ErrReadOnly", err)
+	}
+	if err := jb.Close(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("readonly Close = %v, want ErrReadOnly", err)
+	}
+
+	// Space frees: the probe bounces the store and durable mode
+	// resumes with the tenant re-pinned, not dropped.
+	fs.Reset()
+	waitFor(t, "disk-full resume", func() bool { return e.Health().Status == StatusHealthy })
+	if got := e.Store().Stats().LiveJobs; got != 1 {
+		t.Fatalf("reopened store tracks %d live jobs, want 1 (tenant re-pinned)", got)
+	}
+	pre := e.Store().Stats().AppendedRecords
+	if _, err := jb.Ingest(flat(6000, 2, 40)); err != nil {
+		t.Fatalf("post-resume ingest: %v", err)
+	}
+	if got := e.Store().Stats().AppendedRecords; got == pre {
+		t.Error("post-resume ingest not WAL-backed: tenant lost durability")
+	}
+
+	// Restart over the directory: exactly the acked samples survive.
+	acked := int64(0)
+	for _, lj := range e.Store().Live() {
+		acked += lj.Samples
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("engine close: %v", err)
+	}
+	e2 := New(testDict(t))
+	recovered, err := e2.OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if recovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1", recovered)
+	}
+	replayed := int64(0)
+	for _, lj := range e2.Store().Live() {
+		replayed += lj.Samples
+	}
+	if replayed != acked {
+		t.Fatalf("replayed %d samples, acked %d — durability hole across readonly window", replayed, acked)
+	}
+}
+
+// TestReadonlyResumeWaitsForHeadroom: the probe must not bounce the
+// readonly store while free space is still below the watermark — the
+// reads it serves would go away for a resume that immediately fails
+// back to readonly.
+func TestReadonlyResumeWaitsForHeadroom(t *testing.T) {
+	fs := vfs.NewFault(vfs.OS{}, 1)
+	st, err := tsdb.OpenOptions(t.TempDir(), tsdb.Options{FS: fs, DiskLowBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(testDict(t))
+	e.StoreProbeInterval = time.Millisecond
+	if _, err := e.AttachStore(st); err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	jb, err := e.Register("j", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFree(1 << 20) // below the 4 MiB watermark
+	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Err: syscall.ENOSPC, Times: 1})
+	if _, err := jb.Ingest(flat(6000, 2, 10)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ingest = %v, want ErrReadOnly", err)
+	}
+	// The write fault is gone but space is still low: many probe
+	// ticks later the engine must still be readonly, store attached.
+	time.Sleep(30 * time.Millisecond)
+	if got := e.Health().Status; got != StatusReadonly {
+		t.Fatalf("health with low disk = %q, want readonly", got)
+	}
+	if !e.HasStore() {
+		t.Fatal("readonly store detached while waiting for headroom")
+	}
+	if attempts := e.Health().StoreReopenAttempts; attempts == 0 {
+		t.Fatal("probe never ticked")
+	}
+	// Headroom returns (above the watermark): resume.
+	fs.SetFree(64 << 20)
+	waitFor(t, "resume after headroom", func() bool { return e.Health().Status == StatusHealthy })
+	if _, err := jb.Ingest(flat(6000, 2, 20)); err != nil {
+		t.Fatalf("post-resume ingest: %v", err)
 	}
 }
 

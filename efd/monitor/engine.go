@@ -305,6 +305,13 @@ func (e *Engine) Register(id string, nodes int) (*Job, error) {
 	if err := validateJobID(id); err != nil {
 		return nil, err
 	}
+	// Disk-full read-only mode sheds registrations outright (instead of
+	// admitting them memory-only, as a poisoned-store outage does):
+	// writes resume durable the moment space frees, and every job
+	// admitted before then would be stuck memory-only for its lifetime.
+	if err := e.shedWrite(nil); err != nil {
+		return nil, storeErr("registration", err)
+	}
 	sh := e.shardFor(id)
 	// Cheap precheck so doomed registrations (duplicates, full table)
 	// answer from the shard map alone, without building a stream or
@@ -348,7 +355,7 @@ func (e *Engine) Register(id string, nodes int) (*Job, error) {
 		if err := st.Register(id, nodes); err != nil {
 			if errors.Is(err, tsdb.ErrJobExists) || !e.noteStoreError(st, err) {
 				e.removeJob(id, j)
-				return nil, fmt.Errorf("%w registration: %v", ErrStore, err)
+				return nil, storeErr("registration", err)
 			}
 			// The store failed (or was closed) under the registration:
 			// the engine degrades but the job is admitted memory-only,
@@ -535,7 +542,7 @@ func (e *Engine) commitAccepted(accepted int) error {
 	if accepted > 0 && e.storeMode.Load() == storeModeRW {
 		if st := e.store.Load(); st != nil {
 			if err := st.Commit(); err != nil && !e.noteStoreError(st, err) {
-				return fmt.Errorf("%w commit: %v", ErrStore, err)
+				return storeErr("commit", err)
 			}
 			// An absorbed commit failure (poisoning, graceful close)
 			// acknowledges the batch memory-only: the streams are fed
@@ -610,6 +617,14 @@ func (e *Engine) feedRuns(id string, j *job, runs []Run) (int, bool, error) {
 // happens once per batch (commitAccepted). fedSoFar is the batch's
 // running total, needed to book partial progress on a store error.
 func (e *Engine) feedRunLocked(id string, j *job, metric string, node int, offs []time.Duration, vals []float64, fedSoFar int) (int, bool, error) {
+	// Read-only mode: a store-backed job's append is shed with the
+	// retryable error instead of silently going memory-only — the
+	// stream must stay in lockstep with the WAL so the job can resume
+	// durable when space frees.
+	if err := e.shedWrite(j); err != nil {
+		j.samples += int64(fedSoFar)
+		return 0, true, storeErr("append", err)
+	}
 	if st := e.storeFor(j); st != nil {
 		if err := st.Append(id, metric, node, offs, vals); err != nil {
 			if errors.Is(err, tsdb.ErrUnknownJob) {
@@ -626,7 +641,7 @@ func (e *Engine) feedRunLocked(id string, j *job, metric string, node int, offs 
 			}
 			if !e.noteStoreError(st, err) {
 				j.samples += int64(fedSoFar)
-				return 0, true, fmt.Errorf("%w append: %v", ErrStore, err)
+				return 0, true, storeErr("append", err)
 			}
 			// Store poisoned (or gracefully closed) mid-batch: the
 			// engine degrades and this run — like everything after it —
@@ -874,11 +889,15 @@ func (jb *Job) Label(app, input string) (string, error) {
 	// ID cannot slip in (the ID is still in the shard map, so Register
 	// answers ErrJobExists) and have its fresh store entry finished by
 	// us.
+	if err := jb.e.shedWrite(jb.j); err != nil {
+		jb.j.mu.Unlock()
+		return "", storeErr("finish", err)
+	}
 	if st := jb.e.storeFor(jb.j); st != nil {
 		if err := st.Finish(jb.id, label.String()); err != nil {
 			if !jb.e.noteStoreError(st, err) {
 				jb.j.mu.Unlock()
-				return "", fmt.Errorf("%w finish: %v", ErrStore, err)
+				return "", storeErr("finish", err)
 			}
 			// Absorbed (store poisoned / closed under us): the label
 			// proceeds memory-only — the dictionary still learns, the
@@ -912,11 +931,15 @@ func (jb *Job) Close() error {
 	// leaves the job fully alive (no state diverged), and a concurrent
 	// re-registration cannot create a fresh store entry for this ID
 	// that our Drop would then delete.
+	if err := jb.e.shedWrite(jb.j); err != nil {
+		jb.j.mu.Unlock()
+		return storeErr("drop", err)
+	}
 	if st := jb.e.storeFor(jb.j); st != nil {
 		if err := st.Drop(jb.id); err != nil {
 			if !jb.e.noteStoreError(st, err) {
 				jb.j.mu.Unlock()
-				return fmt.Errorf("%w drop: %v", ErrStore, err)
+				return storeErr("drop", err)
 			}
 			// Absorbed: the close proceeds memory-only.
 		}

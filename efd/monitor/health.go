@@ -1,18 +1,28 @@
 package monitor
 
-// Graceful degradation and overload control.
+// Graceful degradation, disk-full read-only mode, and overload
+// control.
 //
-// The durable store can poison itself at runtime (a WAL write or fsync
-// failure, ENOSPC): every further store mutation refuses until a
-// reopen replays the disk. Rather than turning those refusals into
-// ingest failures, the engine degrades: the store is fenced off,
-// ingest and every read keep working memory-only, health reporting
-// flips to "degraded" with the triggering error, and a supervised
-// background probe keeps attempting to reopen the store directory.
-// When a reopen succeeds the engine returns to durable mode — jobs
-// registered from then on are WAL-backed again, while jobs that lived
-// through the outage stay memory-only (their streams hold samples the
-// store never saw; resuming their WAL would persist a lie).
+// The durable store can poison itself at runtime (a WAL write or
+// fsync failure): every further store mutation refuses until a reopen
+// replays the disk. Rather than turning those refusals into ingest
+// failures, the engine degrades: the store is fenced off, ingest and
+// every read keep working memory-only, health reporting flips to
+// "degraded" with the triggering error, and a supervised background
+// probe keeps attempting to reopen the store directory. When a reopen
+// succeeds the engine returns to durable mode — jobs registered from
+// then on are WAL-backed again, while jobs that lived through the
+// outage stay memory-only (their streams hold samples the store never
+// saw; resuming their WAL would persist a lie).
+//
+// A full disk (ENOSPC/EDQUOT) is different: nothing is corrupt, the
+// condition is transient, and every byte already acknowledged is
+// intact. The engine enters read-only mode instead — the store stays
+// open and keeps serving every read, while writes are SHED with the
+// retryable ErrReadOnly (HTTP 503 upstream) rather than absorbed
+// memory-only; shedding keeps each stream in lockstep with its WAL,
+// so when the probe sees disk headroom again (diskRecovered) the
+// store is reopened and the surviving jobs resume fully durable.
 //
 // Overload control is a separate, engine-level concern: AcquireIngest
 // bounds the bytes and batch count admitted concurrently, so a flood
@@ -22,6 +32,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -29,11 +40,14 @@ import (
 )
 
 // Store modes. The mode gates every store write: only ModeRW touches
-// the store, and a degraded engine keeps serving from memory.
+// the store. A degraded engine keeps serving from memory; a readonly
+// engine keeps the store open for reads and sheds writes until the
+// disk has space again.
 const (
 	storeModeNone     int32 = iota // no store attached
 	storeModeRW                    // healthy, durable
 	storeModeDegraded              // store poisoned; memory-only until reopened
+	storeModeReadonly              // disk full; store serves reads, writes shed
 )
 
 // Health status strings, the GET /v1/health vocabulary.
@@ -58,10 +72,11 @@ const (
 type HealthInfo struct {
 	// Status is "healthy", "degraded" (the durable store failed and a
 	// background probe is attempting to reopen it; ingest and reads
-	// continue memory-only), or "readonly" (the ingest admission gate
-	// is saturated and new ingest is being shed).
+	// continue memory-only), or "readonly" (writes are being shed —
+	// either the store's disk is full, see Disk, or the ingest
+	// admission gate is saturated).
 	Status string `json:"status"`
-	// Error is the triggering store error while degraded.
+	// Error is the triggering store error while degraded or readonly.
 	Error string `json:"error,omitempty"`
 	// DegradedForS is how long the engine has been degraded.
 	DegradedForS float64 `json:"degraded_for_s,omitempty"`
@@ -73,11 +88,29 @@ type HealthInfo struct {
 	IngestInflightBytes   int64 `json:"ingest_inflight_bytes"`
 	IngestInflightBatches int64 `json:"ingest_inflight_batches"`
 	IngestShedTotal       int64 `json:"ingest_shed_total"`
+	// Disk is the durable store's disk state. Present when the store
+	// has a configured low-space watermark or is in read-only mode;
+	// omitted otherwise (and always for store-less engines).
+	Disk *DiskHealth `json:"disk,omitempty"`
+}
+
+// DiskHealth is the disk section of HealthInfo.
+type DiskHealth struct {
+	// FreeBytes is the space available to the store, as reported by
+	// the filesystem; -1 when the platform cannot report it.
+	FreeBytes int64 `json:"free_bytes"`
+	// LowWatermarkBytes is the configured proactive flush-refusal
+	// watermark (StoreOptions.DiskLowBytes); 0 when unset.
+	LowWatermarkBytes int64 `json:"low_watermark_bytes"`
+	// ReadOnly reports disk-full read-only mode: every read keeps
+	// serving, writes answer with a retryable error until the
+	// background probe sees space freed and resumes durable mode.
+	ReadOnly bool `json:"read_only"`
 }
 
 // Health snapshots the engine's health. Degraded wins over readonly:
 // an operator fixing a dead disk should not have the signal masked by
-// a concurrent traffic spike.
+// a concurrent traffic spike or a full-but-working disk.
 func (e *Engine) Health() HealthInfo {
 	out := HealthInfo{
 		Status:                StatusHealthy,
@@ -90,7 +123,16 @@ func (e *Engine) Health() HealthInfo {
 	if e.saturated() {
 		out.Status = StatusReadonly
 	}
-	if e.storeMode.Load() == storeModeDegraded {
+	mode := e.storeMode.Load()
+	if mode == storeModeReadonly {
+		out.Status = StatusReadonly
+		e.healthMu.Lock()
+		if e.healthErr != nil {
+			out.Error = e.healthErr.Error()
+		}
+		e.healthMu.Unlock()
+	}
+	if mode == storeModeDegraded {
 		out.Status = StatusDegraded
 		e.healthMu.Lock()
 		if e.healthErr != nil {
@@ -101,13 +143,26 @@ func (e *Engine) Health() HealthInfo {
 		}
 		e.healthMu.Unlock()
 	}
+	// The disk section appears once disk state is interesting — a
+	// configured watermark or read-only mode — so default health
+	// bodies stay stable (and byte-reproducible) across machines.
+	if st := e.store.Load(); st != nil && (e.storeOpts.DiskLowBytes > 0 || mode == storeModeReadonly) {
+		d := &DiskHealth{FreeBytes: -1, LowWatermarkBytes: e.storeOpts.DiskLowBytes, ReadOnly: mode == storeModeReadonly}
+		if free, ok := st.DiskFree(); ok {
+			d.FreeBytes = int64(min(free, uint64(math.MaxInt64)))
+		}
+		out.Disk = d
+	}
 	return out
 }
 
 // healthStatus is the one-word form for Stats.
 func (e *Engine) healthStatus() string {
-	if e.storeMode.Load() == storeModeDegraded {
+	switch e.storeMode.Load() {
+	case storeModeDegraded:
 		return StatusDegraded
+	case storeModeReadonly:
+		return StatusReadonly
 	}
 	if e.saturated() {
 		return StatusReadonly
@@ -195,16 +250,63 @@ func (e *Engine) storeFor(j *job) *tsdb.Store {
 // under the caller (CloseStore race) or has poisoned itself (the
 // engine degrades and the caller proceeds memory-only) — and false
 // when the error is the caller's to surface (validation, unknown job,
-// a failed flush on a healthy store).
+// a failed flush on a healthy store, or a disk-full write: the engine
+// enters read-only mode and the caller sheds the write with a
+// retryable error rather than acknowledging it memory-only).
 func (e *Engine) noteStoreError(st *tsdb.Store, err error) bool {
 	if errors.Is(err, tsdb.ErrClosed) {
 		return true
+	}
+	if errors.Is(err, tsdb.ErrReadOnly) || errors.Is(err, tsdb.ErrDiskFull) || st.ReadOnly() != nil {
+		e.readonlyStore(err)
+		return false
 	}
 	if st.Failed() != nil {
 		e.degradeStore(err)
 		return true
 	}
 	return false
+}
+
+// storeErr wraps a store write failure for callers. Disk-full
+// failures additionally carry the retryable ErrReadOnly identity, so
+// the HTTP adapter can answer 503 + Retry-After instead of 500.
+func storeErr(op string, err error) error {
+	if errors.Is(err, ErrReadOnly) {
+		return fmt.Errorf("%w %s: %w", ErrStore, op, err)
+	}
+	if errors.Is(err, tsdb.ErrReadOnly) || errors.Is(err, tsdb.ErrDiskFull) {
+		return fmt.Errorf("%w %s: %w: %v", ErrStore, op, ErrReadOnly, err)
+	}
+	return fmt.Errorf("%w %s: %v", ErrStore, op, err)
+}
+
+// shedWrite reports the retryable shed error when the engine's store
+// is in read-only mode and the write would need it: engine-level
+// writes (j == nil) and writes of jobs backed by the readonly store
+// are shed; a job already running memory-only proceeds as before.
+// Called with j.mu held when j is non-nil.
+func (e *Engine) shedWrite(j *job) error {
+	if e.storeMode.Load() != storeModeReadonly {
+		return nil
+	}
+	if j != nil && (j.st == nil || j.st != e.store.Load()) {
+		return nil
+	}
+	return ErrReadOnly
+}
+
+// readonlyStore fences writes off and starts the resume probe; the
+// store stays attached and keeps serving reads. Only the first caller
+// transitions.
+func (e *Engine) readonlyStore(err error) {
+	if !e.storeMode.CompareAndSwap(storeModeRW, storeModeReadonly) {
+		return
+	}
+	e.healthMu.Lock()
+	e.healthErr = err
+	e.healthMu.Unlock()
+	e.startProbe()
 }
 
 // degradeStore fences the store off and starts the reopen probe. Only
@@ -271,37 +373,86 @@ func (e *Engine) probeLoop(stop chan struct{}) {
 	}
 }
 
-// attemptReopen closes the poisoned store and reopens its directory.
+// attemptReopen closes the unhealthy store and reopens its directory.
 // It returns true when the probe's job is over — the reopen succeeded,
 // or the store was detached underneath it. The write lock on
 // storeReadMu excludes every reader for the close/munmap + reopen
 // window, so no mapped segment view is torn down mid-read.
 func (e *Engine) attemptReopen() bool {
 	e.met.probeAttempts.Add(1)
-	e.storeReadMu.Lock()
-	defer e.storeReadMu.Unlock()
-	if e.storeMode.Load() != storeModeDegraded {
+	mode := e.storeMode.Load()
+	switch mode {
+	case storeModeDegraded:
+	case storeModeReadonly:
+		// The readonly store is still open and serving reads; don't
+		// bounce it until the disk has real headroom again, so the
+		// engine can't flap at the edge of full.
+		st := e.store.Load()
+		if st == nil {
+			return true
+		}
+		if !e.diskRecovered(st) {
+			return false
+		}
+	default:
 		return true
 	}
-	if old := e.store.Swap(nil); old != nil {
-		// Poisoned close: flush and sync are skipped (crash semantics),
+	e.storeReadMu.Lock()
+	defer e.storeReadMu.Unlock()
+	if m := e.storeMode.Load(); m != mode {
+		// CloseStore (or a concurrent transition) got here first.
+		return m != storeModeDegraded && m != storeModeReadonly
+	}
+	old := e.store.Swap(nil)
+	if old != nil {
+		// Unhealthy close: flush and sync are skipped (crash semantics),
 		// but descriptors, mappings, and the directory flock release.
 		old.Close()
 	}
 	st, err := tsdb.OpenOptions(e.storeDir, e.storeOpts)
 	if err != nil {
+		// The old store is gone; whichever mode we came from, the
+		// engine is now fully degraded — memory-only, probe still
+		// trying.
+		e.storeMode.Store(storeModeDegraded)
 		e.healthMu.Lock()
 		e.healthErr = err
+		if e.degradedSince.IsZero() {
+			e.degradedSince = time.Now()
+		}
 		e.healthMu.Unlock()
 		return false
 	}
-	// Jobs replayed from the WAL lived through the outage: their
-	// engine-side streams hold samples the store never saw, so
-	// resuming their WAL entries would persist a divergent history.
-	// Drop them from the store — their streams keep serving memory-only
-	// (storeFor never resolves them: their j.st is a dead pointer).
-	for _, lj := range st.Live() {
-		st.Drop(lj.ID)
+	if mode == storeModeReadonly {
+		// Writes were shed for the whole readonly window, so the
+		// replayed store and the engine-side streams are still in
+		// lockstep: re-pin surviving jobs to the new incarnation and
+		// stay durable. Anything the engine no longer tracks is
+		// dropped.
+		for _, lj := range st.Live() {
+			repinned := false
+			if j := e.getJob(lj.ID); j != nil {
+				j.mu.Lock()
+				if j.st == old && !j.done {
+					j.st = st
+					repinned = true
+				}
+				j.mu.Unlock()
+			}
+			if !repinned {
+				st.Drop(lj.ID)
+			}
+		}
+	} else {
+		// Jobs replayed from the WAL lived through the outage: their
+		// engine-side streams hold samples the store never saw, so
+		// resuming their WAL entries would persist a divergent history.
+		// Drop them from the store — their streams keep serving
+		// memory-only (storeFor never resolves them: their j.st is a
+		// dead pointer).
+		for _, lj := range st.Live() {
+			st.Drop(lj.ID)
+		}
 	}
 	e.store.Store(st)
 	e.storeMode.Store(storeModeRW)
@@ -311,6 +462,23 @@ func (e *Engine) attemptReopen() bool {
 	e.healthMu.Unlock()
 	e.met.probeReopens.Add(1)
 	return true
+}
+
+// diskRecovered reports whether the store's disk has enough headroom
+// to leave read-only mode: at least the configured watermark, and
+// never less than a 1 MiB floor — resuming into an immediately-full
+// disk would just bounce straight back. An unknown free-space reading
+// errs toward attempting the resume; the next append settles it.
+func (e *Engine) diskRecovered(st *tsdb.Store) bool {
+	free, ok := st.DiskFree()
+	if !ok {
+		return true
+	}
+	floor := uint64(1 << 20)
+	if wm := e.storeOpts.DiskLowBytes; wm > 0 && uint64(wm) > floor {
+		floor = uint64(wm)
+	}
+	return free >= floor
 }
 
 // Close shuts the engine down: the reopen probe is stopped and the

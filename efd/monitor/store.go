@@ -34,6 +34,13 @@ type StoreOptions struct {
 	// NoSync skips every fsync — replay correctness is unaffected,
 	// only crash durability. For benchmarks and bulk loads.
 	NoSync bool
+	// DiskLowBytes is the proactive disk-headroom watermark: segment
+	// flushes are refused (retryably) while the store volume has less
+	// free space, keeping the disk from being driven to hard ENOSPC by
+	// the store itself. It also sets the free-space floor the engine
+	// requires before resuming from disk-full read-only mode. 0
+	// disables the watermark.
+	DiskLowBytes int64
 }
 
 // OpenStore opens (or creates) a durable telemetry store in dir and
@@ -43,9 +50,10 @@ type StoreOptions struct {
 // engine owns the store from here; call CloseStore on shutdown.
 func (e *Engine) OpenStore(dir string, opt StoreOptions) (recovered int, err error) {
 	st, err := tsdb.OpenOptions(dir, tsdb.Options{
-		FlushBytes: opt.FlushBytes,
-		HistBins:   opt.HistBins,
-		NoSync:     opt.NoSync,
+		FlushBytes:   opt.FlushBytes,
+		HistBins:     opt.HistBins,
+		NoSync:       opt.NoSync,
+		DiskLowBytes: opt.DiskLowBytes,
 	})
 	if err != nil {
 		return 0, err

@@ -34,6 +34,11 @@ var (
 	// gate (AcquireIngest): too many bytes or requests in flight. The
 	// condition is transient — retry after backing off.
 	ErrOverloaded = errors.New("monitor: ingest overloaded")
+	// ErrReadOnly reports a write shed because the durable store's disk
+	// is full: the engine keeps serving every read while a background
+	// probe waits for space to free, then resumes durable writes. The
+	// condition is transient — retry after backing off.
+	ErrReadOnly = errors.New("monitor: store is read-only (disk full)")
 )
 
 // Sample is one telemetry point in wire form — the JSON shape the v1

@@ -45,3 +45,32 @@ func OpenSeam(fs vfs.FS, path string) error {
 	}
 	return f.Sync()
 }
+
+// recoverWAL is recovery-shaped code: a bounded-backoff retry loop
+// whose reads reach around the seam. Faults injected during reopen
+// (the recovery-torture chaos mode) would never fire on this path.
+func recoverWAL(path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		b, err := os.ReadFile(path) // want `os.ReadFile bypasses the vfs seam`
+		if err == nil {
+			return b, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// recoverWALSeam is the compliant form: every retry attempt reads
+// through the injected FS, so recovery-torture faults hit each one.
+func recoverWALSeam(fs vfs.FS, path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		b, err := fs.ReadFile(path)
+		if err == nil {
+			return b, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}

@@ -153,6 +153,7 @@ const (
 	codePayloadTooLarge  = "payload_too_large"
 	codeUnimplemented    = "unimplemented"
 	codeOverloaded       = "overloaded"
+	codeReadOnly         = "read_only"
 	codeInternal         = "internal"
 )
 
@@ -160,6 +161,12 @@ const (
 // The admission gate drains as fast as in-flight requests finish, so a
 // short fixed hint beats an estimate.
 const overloadRetryAfterS = "1"
+
+// readonlyRetryAfterS is the Retry-After hint on 503 read-only
+// answers. Disk space frees on operator timescales, and the engine's
+// resume probe runs every StoreProbeInterval, so the hint is longer
+// than the overload one.
+const readonlyRetryAfterS = "5"
 
 type errorBody struct {
 	Error errorDetail `json:"error"`
@@ -193,6 +200,12 @@ func engineError(w http.ResponseWriter, err error) {
 	case errors.Is(err, monitor.ErrOverloaded):
 		w.Header().Set("Retry-After", overloadRetryAfterS)
 		status, code = http.StatusTooManyRequests, codeOverloaded
+	case errors.Is(err, monitor.ErrReadOnly):
+		// Disk-full read-only mode: the write was shed, nothing is
+		// lost, and the engine resumes by itself once space frees —
+		// the retryable 503 contract.
+		w.Header().Set("Retry-After", readonlyRetryAfterS)
+		status, code = http.StatusServiceUnavailable, codeReadOnly
 	case errors.Is(err, monitor.ErrNoStore):
 		status, code = http.StatusNotImplemented, codeUnimplemented
 	}

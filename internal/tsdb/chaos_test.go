@@ -300,10 +300,10 @@ func TestChaosStoreFaults(t *testing.T) {
 		fs.AddRule(chaosRules(rng))
 		shadow := map[string]*shadowJob{}
 		scriptErr := chaosScript(t, rng, st, 40+rng.Intn(80), shadow)
-		if scriptErr != nil && st.Failed() == nil && !isBenignChaosErr(scriptErr) {
-			t.Fatalf("CHAOS_SEED=%d round %d: op failed without poisoning: %v", seed, round, scriptErr)
+		if scriptErr != nil && st.Failed() == nil && st.ReadOnly() == nil && !isBenignChaosErr(scriptErr) {
+			t.Fatalf("CHAOS_SEED=%d round %d: op failed without poisoning or read-only demotion: %v", seed, round, scriptErr)
 		}
-		st.Close() // poisoned close skips flushing, like a crash
+		st.Close() // poisoned/read-only close skips flushing, like a crash
 
 		re, err := Open(dir) // clean FS: recovery itself is not under fault here
 		if err != nil {
@@ -319,6 +319,104 @@ func TestChaosStoreFaults(t *testing.T) {
 // serving.
 func isBenignChaosErr(err error) bool {
 	return errors.Is(err, syscall.EIO) || errors.Is(err, syscall.ENOSPC) || errors.Is(err, vfs.ErrInjected)
+}
+
+// tortureRule arms one transient fault on the recovery path itself:
+// the directory scan, segment mapping, WAL read (including torn
+// reads), the WAL open, the lock, and the quarantine writes. Times is
+// kept at 1–2 so the sum across the armed rules (at most two) stays
+// within Open's default retry budget — recovery must absorb every one
+// of these.
+func tortureRule(rng *rand.Rand) vfs.Rule {
+	ops := []vfs.Op{
+		vfs.OpReadDir, vfs.OpReadFile, vfs.OpMap, vfs.OpOpen,
+		vfs.OpLock, vfs.OpMkdir, vfs.OpWrite, vfs.OpSync, vfs.OpTruncate,
+	}
+	errs := []error{syscall.EIO, syscall.ENOSPC, vfs.ErrInjected}
+	r := vfs.Rule{
+		Op:    ops[rng.Intn(len(ops))],
+		After: int64(rng.Intn(3)),
+		Times: 1 + int64(rng.Intn(2)),
+		Err:   errs[rng.Intn(len(errs))],
+	}
+	if r.Op == vfs.OpReadFile && rng.Intn(2) == 0 {
+		r.Torn = true // torn read: a prefix of the data plus the error
+	}
+	return r
+}
+
+// TestChaosRecoveryTorture: invariant 1 under fire. Each round runs a
+// faulted script (like TestChaosStoreFaults), then reopens the
+// directory with transient faults armed on the recovery operations
+// themselves. The fault-tolerant Open must absorb every in-budget
+// fault; the acked floor is then verified both on the tortured reopen
+// and again after a second, clean reopen. Fired-fault counters prove
+// the torture actually injected something — a run where every round
+// silently passed zero faults through fails.
+func TestChaosRecoveryTorture(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("CHAOS_SEED=%d", seed)
+	deadline := time.Now().Add(chaosBudget(t, 3*time.Second))
+	rounds, tortureFired := 0, int64(0)
+	for round := 0; round < 500; round++ {
+		if round >= 3 && !time.Now().Before(deadline) {
+			break
+		}
+		rounds++
+		rng := rand.New(rand.NewSource(seed + int64(round)*7919))
+		dir := t.TempDir()
+		fs := vfs.NewFault(vfs.OS{}, seed+int64(round))
+		st, err := OpenOptions(dir, Options{FS: fs, FlushBytes: 1 << 12})
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%d round %d: open: %v", seed, round, err)
+		}
+		fs.AddRule(chaosRules(rng))
+		shadow := map[string]*shadowJob{}
+		scriptErr := chaosScript(t, rng, st, 40+rng.Intn(80), shadow)
+		if scriptErr != nil && st.Failed() == nil && st.ReadOnly() == nil && !isBenignChaosErr(scriptErr) {
+			t.Fatalf("CHAOS_SEED=%d round %d: op failed without poisoning or read-only demotion: %v", seed, round, scriptErr)
+		}
+		st.Close()
+
+		// Recovery under fire: arm transient faults, then reopen. The
+		// rule budget is sized within Open's retry budget, so the
+		// reopen must succeed — aborting (or quarantining acked data)
+		// on a transient recovery fault is exactly the bug this test
+		// pins.
+		fs.Reset()
+		nrules := 1 + rng.Intn(2)
+		for i := 0; i < nrules; i++ {
+			fs.AddRule(tortureRule(rng))
+		}
+		firedBefore := fs.Fired()
+		re, err := OpenOptions(dir, Options{FS: fs, FlushBytes: 1 << 12})
+		roundFired := fs.Fired() - firedBefore
+		tortureFired += roundFired
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%d round %d: tortured reopen failed (%d faults fired): %v",
+				seed, round, roundFired, err)
+		}
+		fs.Reset() // disarm before verification reads and the close
+		verifyFloor(t, re, shadow, seed, round)
+		if re.Recovery().RetriedOps == 0 && roundFired > 0 {
+			t.Fatalf("CHAOS_SEED=%d round %d: %d recovery faults fired but no retries recorded",
+				seed, round, roundFired)
+		}
+		re.Close()
+
+		// Second, clean reopen: the tortured recovery must have left a
+		// state a normal recovery fully accepts.
+		re2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%d round %d: clean reopen after torture: %v", seed, round, err)
+		}
+		verifyFloor(t, re2, shadow, seed, round)
+		re2.Close()
+	}
+	t.Logf("chaos: %d recovery-torture rounds, %d recovery faults fired", rounds, tortureFired)
+	if rounds >= 3 && tortureFired == 0 {
+		t.Fatalf("CHAOS_SEED=%d: recovery torture fired zero faults across %d rounds — the harness is not injecting", seed, rounds)
+	}
 }
 
 // TestChaosCrashBoundary: crash the filesystem exactly at a clean

@@ -33,19 +33,24 @@ func openFault(t *testing.T, dir string, seed int64) (*Store, *vfs.Fault) {
 }
 
 // TestFaultWALPoisoning drives the store into each of its WAL
-// poisoning paths and asserts the shared contract: the triggering call
-// fails, every later mutation refuses with the same error, reads keep
-// working, and a reopen recovers exactly the acknowledged state.
+// failure paths and asserts the shared contract: the triggering call
+// fails, every later mutation refuses, reads keep working, and a
+// reopen recovers exactly the acknowledged state. ENOSPC demotes to
+// read-only (transient, errors.Is ErrReadOnly/ErrDiskFull); EIO and
+// torn writes poison (permanent).
 func TestFaultWALPoisoning(t *testing.T) {
 	cases := []struct {
 		name string
 		rule vfs.Rule
+		// readonly expects the disk-full demotion instead of poisoning.
+		readonly bool
 		// trip performs the mutation expected to hit the fault.
 		trip func(st *Store) error
 	}{
 		{
-			name: "enospc on append write",
-			rule: vfs.Rule{Op: vfs.OpWrite, Path: walName, Err: syscall.ENOSPC},
+			name:     "enospc on append write",
+			rule:     vfs.Rule{Op: vfs.OpWrite, Path: walName, Err: syscall.ENOSPC},
+			readonly: true,
 			trip: func(st *Store) error {
 				// One run larger than the 64 KiB writer buffer forces the
 				// buffered writer through the failing File.Write.
@@ -102,17 +107,33 @@ func TestFaultWALPoisoning(t *testing.T) {
 			if err == nil {
 				t.Fatal("faulted mutation succeeded")
 			}
-			if st.Failed() == nil {
-				t.Fatal("store not poisoned after WAL failure")
+			if tc.readonly {
+				if st.Failed() != nil {
+					t.Fatalf("ENOSPC poisoned the store: %v (want read-only demotion)", st.Failed())
+				}
+				if st.ReadOnly() == nil {
+					t.Fatal("store not read-only after ENOSPC")
+				}
+				if !errors.Is(err, ErrReadOnly) || !errors.Is(err, ErrDiskFull) {
+					t.Fatalf("ENOSPC trip error = %v, want ErrReadOnly and ErrDiskFull in the chain", err)
+				}
+				if err := st.Register("late", 1); !errors.Is(err, ErrReadOnly) {
+					t.Errorf("post-demotion Register = %v, want ErrReadOnly", err)
+				}
+			} else {
+				if st.Failed() == nil {
+					t.Fatal("store not poisoned after WAL failure")
+				}
+				// Every later mutation refuses.
+				if err := st.Register("late", 1); !errors.Is(err, st.Failed()) && err == nil {
+					t.Errorf("post-poison Register = %v, want poisoned error", err)
+				}
 			}
-			// Every later mutation refuses; reads still serve.
-			if err := st.Register("late", 1); !errors.Is(err, st.Failed()) && err == nil {
-				t.Errorf("post-poison Register = %v, want poisoned error", err)
-			}
+			// Reads still serve either way.
 			if got := len(st.Live()); got == 0 {
-				t.Error("poisoned store stopped serving reads")
+				t.Error("unhealthy store stopped serving reads")
 			}
-			st.Close() // poisoned close: crash semantics, error expected
+			st.Close() // unhealthy close: crash semantics, error expected
 
 			re, err := Open(dir)
 			if err != nil {
@@ -138,7 +159,7 @@ func TestFaultWALPoisoning(t *testing.T) {
 	}
 }
 
-// TestFaultSegmentFlushFails injects a failure into the segment temp
+// TestFaultSegmentFlushFails injects an EIO into the segment temp
 // write: Flush errors, the executions stay pending (WAL-durable), and
 // a healed retry flushes them successfully with no duplicates.
 func TestFaultSegmentFlushFails(t *testing.T) {
@@ -152,9 +173,9 @@ func TestFaultSegmentFlushFails(t *testing.T) {
 	if err := st.Finish("job", "lbl"); err != nil {
 		t.Fatal(err)
 	}
-	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Path: segPrefix, Err: syscall.ENOSPC})
-	if err := st.Flush(); !errors.Is(err, syscall.ENOSPC) {
-		t.Fatalf("faulted flush = %v, want ENOSPC", err)
+	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Path: segPrefix, Err: syscall.EIO})
+	if err := st.Flush(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("faulted flush = %v, want EIO", err)
 	}
 	if st.Failed() != nil {
 		t.Fatal("failed segment flush must not poison the store (WAL still holds the data)")
@@ -173,6 +194,101 @@ func TestFaultSegmentFlushFails(t *testing.T) {
 	}
 	if st.Stats().LastFlushError != "" {
 		t.Error("lastFlushErr not cleared by successful flush")
+	}
+}
+
+// TestFaultFlushENOSPCReadOnly: ENOSPC during a segment flush demotes
+// the store to read-only instead of poisoning — reads (including the
+// pending execution, durable via the WAL) keep serving, writes shed
+// with ErrReadOnly, and a reopen after space frees resumes writes and
+// flushes the batch with no duplicates.
+func TestFaultFlushENOSPCReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, fs := openFault(t, dir, 17)
+	if err := st.Register("job", 1); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "job", 50, 3)
+	if err := st.Finish("job", "lbl"); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddRule(vfs.Rule{Op: vfs.OpWrite, Path: segPrefix, Err: syscall.ENOSPC})
+	if err := st.Flush(); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("faulted flush = %v, want ErrDiskFull", err)
+	}
+	if st.Failed() != nil {
+		t.Fatalf("flush ENOSPC poisoned the store: %v", st.Failed())
+	}
+	if st.ReadOnly() == nil {
+		t.Fatal("flush ENOSPC did not demote the store to read-only")
+	}
+	// Reads keep serving: the pending execution is visible.
+	execs := st.Executions()
+	if len(execs) != 1 || execs[0].Stored {
+		t.Fatalf("read-only executions = %+v, want one pending", execs)
+	}
+	// Writes shed with the retryable sentinel.
+	if err := st.Register("late", 1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Register = %v, want ErrReadOnly", err)
+	}
+	fs.Reset() // space frees
+	st.Close() // read-only close: error expected, WAL holds the batch
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after disk-full: %v", err)
+	}
+	defer re.Close()
+	if re.ReadOnly() != nil {
+		t.Fatalf("reopened store still read-only: %v", re.ReadOnly())
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatalf("flush after reopen: %v", err)
+	}
+	execs = re.Executions()
+	if len(execs) != 1 || !execs[0].Stored || execs[0].ID != "job" {
+		t.Fatalf("executions after resume = %+v, want job stored once", execs)
+	}
+}
+
+// TestFaultDiskLowWatermark: with DiskLowBytes configured, a flush is
+// refused with ErrDiskFull while free space sits below the watermark —
+// without demoting the store (appends keep working) — and succeeds
+// once space frees.
+func TestFaultDiskLowWatermark(t *testing.T) {
+	dir := t.TempDir()
+	fs := vfs.NewFault(vfs.OS{}, 19)
+	st, err := OpenOptions(dir, Options{FS: fs, DiskLowBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Register("job", 1); err != nil {
+		t.Fatal(err)
+	}
+	feedJob(t, st, "job", 50, 3)
+	if err := st.Finish("job", "lbl"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFree(1 << 10) // below the 1 MiB watermark
+	if err := st.Flush(); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("low-disk flush = %v, want ErrDiskFull", err)
+	}
+	if st.ReadOnly() != nil || st.Failed() != nil {
+		t.Fatal("watermark refusal must not demote or poison the store")
+	}
+	// Appends still work: only segment flushes are gated proactively.
+	if err := st.Register("more", 1); err != nil {
+		t.Fatalf("append-side write during low disk: %v", err)
+	}
+	if st.Stats().LastFlushError == "" {
+		t.Error("watermark refusal not surfaced in LastFlushError")
+	}
+	fs.SetFree(1 << 30)
+	if err := st.Flush(); err != nil {
+		t.Fatalf("flush after space freed: %v", err)
+	}
+	if execs := st.Executions(); len(execs) != 1 || !execs[0].Stored {
+		t.Fatalf("executions after freed flush = %+v", execs)
 	}
 }
 

@@ -1,0 +1,71 @@
+package tsdb
+
+// Fault-tolerant recovery. Open's I/O — the directory scan, segment
+// mapping, WAL read, and the quarantines themselves — runs on the
+// same disk that just produced the failure being recovered from, so a
+// transient EIO here must not abort the reopen (and must not
+// quarantine data that a second attempt would have read fine). Every
+// recovery operation gets a bounded-backoff retry budget; only a
+// failure that survives the whole budget is treated as real, and even
+// then the response is as precise as possible — one segment
+// quarantined, one torn tail set aside — with Open failing outright
+// only when the WAL itself cannot be read or replaced.
+
+import "time"
+
+// RecoveryStats describes what the last Open had to do to bring the
+// store back: how long recovery took, how many I/O retries the fault
+// tolerance spent, and what crash recovery had to set aside.
+type RecoveryStats struct {
+	// Duration is the wall-clock cost of Open, including retry
+	// backoff.
+	Duration time.Duration
+	// RetriedOps counts recovery I/O retry attempts: 0 means recovery
+	// saw no transient faults.
+	RetriedOps int64
+	// ReplayedRecords is the number of WAL records rebuilt into the
+	// memtable.
+	ReplayedRecords int64
+	// QuarantinedSegments and QuarantinedWALBytes record what had to
+	// be set aside (segments failing validation, a torn WAL tail) —
+	// after retries ruled out transience.
+	QuarantinedSegments int64
+	QuarantinedWALBytes int64
+}
+
+// Recovery reports the stats of the Open that produced this store.
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RecoveryStats{
+		Duration:            s.recDuration,
+		RetriedOps:          s.recRetried,
+		ReplayedRecords:     s.replayed,
+		QuarantinedSegments: s.qSegs,
+		QuarantinedWALBytes: s.qWALBytes,
+	}
+}
+
+// retryRecovery runs fn with the recovery retry budget: on failure it
+// backs off (doubling from Options.RecoverBackoff) and retries up to
+// Options.RecoverRetries times. retryIf gates which errors are worth
+// retrying (nil retries everything): corruption, for example, decodes
+// identically every attempt and fails fast. Only used on the Open
+// path — the store is not yet shared, so the retry counter needs no
+// lock.
+func (s *Store) retryRecovery(fn func() error, retryIf func(error) bool) error {
+	err := fn()
+	backoff := s.opt.RecoverBackoff
+	for attempt := 0; err != nil && attempt < s.opt.RecoverRetries; attempt++ {
+		if retryIf != nil && !retryIf(err) {
+			return err
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		s.recRetried++
+		err = fn()
+	}
+	return err
+}

@@ -25,6 +25,7 @@ package tsdb
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -164,6 +165,13 @@ func writeSegment(fs vfs.FS, dir, name string, execs []*jobMem, bins int) (err e
 	return fs.SyncDir(dir)
 }
 
+// errSegIO marks an openSegment failure that came from the I/O layer
+// (the open/map itself) rather than from validating the mapped bytes.
+// Recovery retries the former — a transient EIO must not quarantine a
+// good segment — while validation failures decode identically every
+// attempt and quarantine immediately.
+var errSegIO = errors.New("tsdb: segment I/O")
+
 // openSegment maps and fully validates one segment file: header and
 // trailer magic, footer CRC and bounds, and every block's CRC and
 // alignment. Any failure returns an error and the caller quarantines
@@ -171,7 +179,7 @@ func writeSegment(fs vfs.FS, dir, name string, execs []*jobMem, bins int) (err e
 func openSegment(fs vfs.FS, path string) (*segment, error) {
 	m, err := fs.MapFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", errSegIO, err)
 	}
 	g := &segment{path: path, m: m}
 	if err := g.validate(); err != nil {

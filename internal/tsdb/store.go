@@ -37,6 +37,20 @@ type Options struct {
 	// ENOSPC, torn writes, fsync failures, and crashes at exact
 	// operation boundaries.
 	FS vfs.FS
+	// DiskLowBytes is the free-space headroom watermark: when the
+	// store's filesystem reports fewer free bytes, segment flushes are
+	// refused with ErrDiskFull before the disk is hard-full (the WAL —
+	// small, already-acknowledged appends — keeps going until a real
+	// ENOSPC). 0 disables the watermark.
+	DiskLowBytes int64
+	// RecoverRetries is the per-operation retry budget recovery I/O
+	// (Open: directory scan, segment mapping, WAL read, quarantine)
+	// gets before the failure is treated as permanent. Default 4
+	// retries (5 attempts); negative disables retrying.
+	RecoverRetries int
+	// RecoverBackoff is the sleep before the first recovery retry,
+	// doubling per attempt. Default 1ms; negative means no backoff.
+	RecoverBackoff time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -49,6 +63,16 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.FS == nil {
 		out.FS = vfs.OS{} //efdvet:ignore vfsseam the documented default when no FS is injected
+	}
+	if out.RecoverRetries == 0 {
+		out.RecoverRetries = 4
+	} else if out.RecoverRetries < 0 {
+		out.RecoverRetries = 0
+	}
+	if out.RecoverBackoff == 0 {
+		out.RecoverBackoff = time.Millisecond
+	} else if out.RecoverBackoff < 0 {
+		out.RecoverBackoff = 0
 	}
 	return out
 }
@@ -94,6 +118,19 @@ var ErrUnknownExecution = errors.New("tsdb: unknown execution")
 
 // ErrClosed is returned for any mutation or flush after Close.
 var ErrClosed = errors.New("tsdb: store closed")
+
+// ErrReadOnly is returned for every mutation while the store is in
+// read-only mode: the disk filled up (ErrDiskFull is always in the
+// same chain), reads keep being served from the memtable and the
+// existing segments, and writes are shed. The condition is transient
+// — retry after space frees; a supervisor reopens the store to
+// resume writes.
+var ErrReadOnly = errors.New("tsdb: store is read-only")
+
+// ErrDiskFull marks an out-of-space condition: a watermark-refused
+// segment flush, or the ENOSPC that switched the store read-only.
+// Unlike poisoning failures it heals when space frees.
+var ErrDiskFull = errors.New("tsdb: disk full")
 
 // ErrLocked is returned by Open when another process holds the data
 // directory's lock.
@@ -258,6 +295,8 @@ type Store struct {
 	qWALBytes    int64
 	qSegs        int64
 	pendBytes    int64
+	recRetried   int64
+	recDuration  time.Duration
 	lastFlushErr error
 	// failed poisons the store after a WAL write/fsync failure or a
 	// half-completed WAL swap: the buffered bytes or the log file
@@ -267,15 +306,50 @@ type Store struct {
 	// error; the only recovery is a restart, which replays whatever
 	// actually reached the disk.
 	failed error
+	// readonly is the disk-full demotion: like failed it refuses every
+	// mutation (the WAL buffer after an ENOSPC is as untrustworthy as
+	// after an EIO), but it is errors.Is-distinguishable as transient —
+	// reads keep working, callers shed writes with a retryable error,
+	// and a supervisor reopens once space frees instead of alarming.
+	readonly error
 }
 
-// failLocked records the first poisoning error and returns the
-// current one. Called with mu held.
+// failLocked records the first failure and returns the current one,
+// classifying out-of-space conditions (transient, read-only mode)
+// apart from I/O errors and corruption (permanent, poisoned). Called
+// with mu held.
 func (s *Store) failLocked(err error) error {
+	if s.failed == nil && isDiskFull(err) {
+		return s.readOnlyLocked(err)
+	}
 	if s.failed == nil {
 		s.failed = fmt.Errorf("tsdb: store failed, restart to recover: %w", err)
 	}
 	return s.failed
+}
+
+// readOnlyLocked records the disk-full demotion. Called with mu held.
+func (s *Store) readOnlyLocked(err error) error {
+	if s.readonly == nil {
+		s.readonly = fmt.Errorf("%w (%w): %v", ErrReadOnly, ErrDiskFull, err)
+	}
+	return s.readonly
+}
+
+// unhealthyLocked reports the error every mutation must refuse with,
+// or nil while the store accepts writes. Called with mu held.
+func (s *Store) unhealthyLocked() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	return s.readonly
+}
+
+// isDiskFull classifies an error as out-of-space (ENOSPC/EDQUOT or a
+// watermark refusal) — the transient class that demotes to read-only
+// instead of poisoning.
+func isDiskFull(err error) bool {
+	return errors.Is(err, ErrDiskFull) || vfs.IsDiskFull(err)
 }
 
 // Open opens (or creates) a store in dir with default options,
@@ -283,30 +357,37 @@ func (s *Store) failLocked(err error) error {
 // and invalid segment files are quarantined, never silently dropped.
 func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
 
-// OpenOptions is Open with explicit options.
+// OpenOptions is Open with explicit options. Recovery I/O is
+// fault-tolerant: transient failures retry with bounded backoff
+// (Options.RecoverRetries/RecoverBackoff), torn or rotted artifacts
+// are quarantined precisely, and Open errors only when recovery is
+// truly impossible — the WAL unreadable past the retry budget, the
+// directory unlockable, or the disk refusing the quarantine itself.
 func OpenOptions(dir string, opt Options) (*Store, error) {
+	start := time.Now()
 	opt = opt.withDefaults()
 	fs := opt.FS
-	if err := fs.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	lock, err := fs.Lock(dir)
-	if err != nil {
-		return nil, err
-	}
 	s := &Store{
 		dir:  dir,
 		opt:  opt,
 		fs:   fs,
 		live: make(map[string]*jobMem),
-		lock: lock,
 	}
 	s.flushCond = sync.NewCond(&s.mu)
+	if err := s.retryRecovery(func() error { return fs.MkdirAll(dir, 0o755) }, nil); err != nil {
+		return nil, err
+	}
+	err := s.retryRecovery(func() error {
+		lock, lerr := fs.Lock(dir)
+		s.lock = lock
+		return lerr
+	}, func(err error) bool { return !errors.Is(err, vfs.ErrLocked) })
+	if err != nil {
+		return nil, err
+	}
 	fail := func(err error) (*Store, error) {
 		s.closeSegments()
-		if lock != nil {
-			lock.Close()
-		}
+		s.unlockDir()
 		return nil, err
 	}
 	if err := s.openSegments(); err != nil {
@@ -315,20 +396,31 @@ func OpenOptions(dir string, opt Options) (*Store, error) {
 	if err := s.replay(); err != nil {
 		return fail(err)
 	}
-	w, err := openWAL(fs, filepath.Join(dir, walName))
+	err = s.retryRecovery(func() error {
+		w, werr := openWAL(fs, filepath.Join(dir, walName))
+		s.w = w
+		return werr
+	}, nil)
 	if err != nil {
 		return fail(err)
 	}
-	s.w = w
+	s.recDuration = time.Since(start)
 	return s, nil
 }
 
 // openSegments scans dir for segment files, mapping the valid ones and
 // quarantining (renaming *.corrupt) the rest. Leftover temp files from
 // an interrupted flush are removed: the rename never happened, so the
-// WAL still holds their contents.
+// WAL still holds their contents. Transient I/O failures retry within
+// the recovery budget; only a segment that still cannot be mapped —
+// or fails validation, which no retry changes — is quarantined.
 func (s *Store) openSegments() error {
-	ents, err := s.fs.ReadDir(s.dir)
+	var ents []os.DirEntry
+	err := s.retryRecovery(func() error {
+		var rerr error
+		ents, rerr = s.fs.ReadDir(s.dir)
+		return rerr
+	}, nil)
 	if err != nil {
 		return err
 	}
@@ -346,11 +438,21 @@ func (s *Store) openSegments() error {
 			continue
 		}
 		path := filepath.Join(s.dir, name)
-		g, err := openSegment(s.fs, path)
+		var g *segment
+		err = s.retryRecovery(func() error {
+			var oerr error
+			g, oerr = openSegment(s.fs, path)
+			return oerr
+		}, func(err error) bool { return errors.Is(err, errSegIO) })
 		if err != nil {
-			// Quarantine: a torn or rotted segment must neither crash
-			// the store nor be mistaken for an empty one.
-			s.fs.Rename(path, path+".corrupt")
+			// Quarantine precisely: this segment — torn, rotted, or
+			// unreadable past the retry budget — must neither crash the
+			// store nor be mistaken for an empty one. The rename gets
+			// its own retry budget; if even that fails the segment is
+			// merely skipped this run and the next Open retries it.
+			s.retryRecovery(func() error {
+				return s.fs.Rename(path, path+".corrupt")
+			}, nil)
 			s.qSegs++
 			continue
 		}
@@ -375,11 +477,19 @@ func (s *Store) openSegments() error {
 // duplicated.
 func (s *Store) replay() error {
 	path := filepath.Join(s.dir, walName)
-	data, err := s.fs.ReadFile(path)
+	var data []byte
+	err := s.retryRecovery(func() error {
+		var rerr error
+		data, rerr = s.fs.ReadFile(path)
+		return rerr
+	}, func(err error) bool { return !errors.Is(err, os.ErrNotExist) })
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil
 		}
+		// The WAL exists but cannot be read past the retry budget:
+		// acknowledged data is unreachable, so recovery is truly
+		// impossible — quarantining here would silently lose it.
 		return err
 	}
 	flushed := make(map[uint64]bool)
@@ -417,7 +527,16 @@ func (s *Store) replay() error {
 	})
 	s.replayed = records
 	if replayErr != nil && good < int64(len(data)) {
-		q, qerr := quarantineTail(s.fs, s.dir, path, data, good)
+		// The quarantine itself runs on the disk being recovered from,
+		// so it gets the same retry budget. Appending the tail twice
+		// (a retry after a failure past the quarantine write) is
+		// harmless: the quarantine file is forensic, not replayed.
+		var q int64
+		qerr := s.retryRecovery(func() error {
+			var e error
+			q, e = quarantineTail(s.fs, s.dir, path, data, good)
+			return e
+		}, nil)
 		if qerr != nil {
 			return fmt.Errorf("tsdb: quarantine torn WAL tail: %w", qerr)
 		}
@@ -441,6 +560,37 @@ func (s *Store) Failed() error {
 	return s.failed
 }
 
+// ReadOnly reports the disk-full demotion error (errors.Is ErrReadOnly
+// and ErrDiskFull), or nil while the store accepts writes. Unlike
+// Failed, the condition is transient: reads keep working, and a
+// reopen after space frees resumes writes.
+func (s *Store) ReadOnly() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readonly
+}
+
+// DiskFree reports the free bytes on the store's filesystem, ok=false
+// when the platform cannot tell.
+func (s *Store) DiskFree() (uint64, bool) {
+	free, err := s.fs.Free(s.dir)
+	return free, err == nil
+}
+
+// diskLow reports whether free space is below the configured
+// watermark (0 disables). An unanswerable query counts as "not low" —
+// the hard ENOSPC path still protects the store.
+func (s *Store) diskLow() (bool, uint64) {
+	if s.opt.DiskLowBytes <= 0 {
+		return false, 0
+	}
+	free, err := s.fs.Free(s.dir)
+	if err != nil {
+		return false, 0
+	}
+	return free < uint64(s.opt.DiskLowBytes), free
+}
+
 // Register starts tracking a live job. The record is made durable
 // before returning.
 func (s *Store) Register(job string, nodes int) error {
@@ -452,8 +602,8 @@ func (s *Store) Register(job string, nodes int) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if s.failed != nil {
-		return s.failed
+	if err := s.unhealthyLocked(); err != nil {
+		return err
 	}
 	if _, ok := s.live[job]; ok {
 		return fmt.Errorf("%w: %q", ErrJobExists, job)
@@ -512,8 +662,8 @@ func (s *Store) Append(job, metric string, node int, offs []time.Duration, vals 
 	if s.closed {
 		return ErrClosed
 	}
-	if s.failed != nil {
-		return s.failed
+	if err := s.unhealthyLocked(); err != nil {
+		return err
 	}
 	j := s.live[job]
 	if j == nil {
@@ -544,8 +694,7 @@ func (s *Store) Commit() error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if s.failed != nil {
-		err := s.failed
+	if err := s.unhealthyLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
@@ -597,8 +746,8 @@ func (s *Store) Commit() error {
 // re-derives state from the disk is the only honest answer (the
 // fsyncgate lesson).
 func (s *Store) commitLocked() error {
-	if s.failed != nil {
-		return s.failed
+	if err := s.unhealthyLocked(); err != nil {
+		return err
 	}
 	if s.opt.NoSync {
 		if err := s.w.bw.Flush(); err != nil {
@@ -626,8 +775,7 @@ func (s *Store) Finish(job, label string) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if s.failed != nil {
-		err := s.failed
+	if err := s.unhealthyLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
@@ -676,8 +824,8 @@ func (s *Store) Drop(job string) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if s.failed != nil {
-		return s.failed
+	if err := s.unhealthyLocked(); err != nil {
+		return err
 	}
 	if _, ok := s.live[job]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownJob, job)
@@ -741,8 +889,7 @@ func (s *Store) IngestExecution(job, label string, ns *telemetry.NodeSet) error 
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if s.failed != nil {
-		err := s.failed
+	if err := s.unhealthyLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
@@ -767,14 +914,25 @@ func (s *Store) Flush() error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	if s.failed != nil {
-		err := s.failed
+	if err := s.unhealthyLocked(); err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	if len(s.pending) == 0 {
 		s.mu.Unlock()
 		return nil
+	}
+	if low, free := s.diskLow(); low {
+		// Proactive headroom: refuse to start a segment write that
+		// would likely ENOSPC midway. The batch stays pending and
+		// remains durable via the WAL; this does not demote the store —
+		// small acknowledged WAL appends keep going until a real
+		// ENOSPC.
+		err := fmt.Errorf("tsdb: flush refused: %w: %d bytes free below %d-byte watermark",
+			ErrDiskFull, free, s.opt.DiskLowBytes)
+		s.lastFlushErr = err
+		s.mu.Unlock()
+		return err
 	}
 	batch := append([]*jobMem(nil), s.pending...)
 	for _, j := range batch {
@@ -810,6 +968,14 @@ func (s *Store) Flush() error {
 	s.flushCond.Broadcast()
 	defer s.mu.Unlock()
 	if err != nil {
+		if s.failed == nil && isDiskFull(err) {
+			// The disk is full: demote to read-only (reads keep
+			// serving, writes shed with a retryable error) instead of
+			// leaving the next WAL append to discover it the hard way.
+			// The batch stays pending and durable via the WAL; the
+			// returned error carries the ErrReadOnly/ErrDiskFull chain.
+			err = s.readOnlyLocked(err)
+		}
 		s.lastFlushErr = fmt.Errorf("tsdb: flush: %w", err)
 		return s.lastFlushErr
 	}
@@ -980,13 +1146,13 @@ func (s *Store) Close() error {
 		return flushErr
 	}
 	s.closed = true
-	if s.failed != nil {
-		// Poisoned: the buffered tail holds records whose callers were
-		// told they failed. Flushing or syncing it now would durably
-		// persist them after all — close the descriptor without
-		// flushing and let the next Open replay only what was
+	if err := s.unhealthyLocked(); err != nil {
+		// Poisoned or read-only: the buffered tail holds records whose
+		// callers were told they failed. Flushing or syncing it now
+		// would durably persist them after all — close the descriptor
+		// without flushing and let the next Open replay only what was
 		// acknowledged.
-		return errors.Join(flushErr, s.failed, s.w.f.Close(), s.closeSegments(), s.unlockDir())
+		return errors.Join(flushErr, err, s.w.f.Close(), s.closeSegments(), s.unlockDir())
 	}
 	var syncErr error
 	if !s.opt.NoSync {

@@ -42,6 +42,7 @@ const (
 	OpWrite // File.Write (and the torn-write injection point)
 	OpSync  // File.Sync — the fsyncgate op
 	OpClose // File.Close
+	OpFree  // Free — the disk-headroom statfs query
 )
 
 // Rule is one deterministic fault: after After matching operations
@@ -76,8 +77,11 @@ type Fault struct {
 	rng     *rand.Rand
 	rules   []*activeRule
 	ops     int64
+	fired   int64
 	crashAt int64 // 0 = disabled
 	crashed bool
+	freeSet bool
+	free    uint64
 }
 
 // NewFault wraps inner with an empty fault plan. seed drives every
@@ -127,14 +131,40 @@ func (f *Fault) Ops() int64 {
 	return f.ops
 }
 
-// Reset heals the filesystem: the fault plan and any crash are
-// cleared (the operation counter keeps running).
+// Fired reports the number of rule firings so far (injected errors,
+// torn writes/reads, and delays). Chaos harnesses diff it across a
+// round to prove the round actually injected faults instead of
+// silently running clean.
+func (f *Fault) Fired() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// SetFree overrides what Free reports, so a test can simulate a
+// filling disk without filling one. ClearFree restores passthrough.
+func (f *Fault) SetFree(n uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.freeSet, f.free = true, n
+}
+
+// ClearFree restores Free to the inner filesystem's answer.
+func (f *Fault) ClearFree() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.freeSet = false
+}
+
+// Reset heals the filesystem: the fault plan, any crash, and any
+// SetFree override are cleared (the operation counter keeps running).
 func (f *Fault) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.rules = nil
 	f.crashed = false
 	f.crashAt = 0
+	f.freeSet = false
 }
 
 // decision is the outcome of gating one operation.
@@ -175,6 +205,7 @@ func (f *Fault) gate(op Op, path string, writeLen int) decision {
 			continue
 		}
 		r.fired++
+		f.fired++
 		d.delay = r.Delay
 		if r.Err != nil || r.Torn {
 			d.err = r.Err
@@ -247,11 +278,35 @@ func (f *Fault) Truncate(name string, size int64) error {
 	return f.inner.Truncate(name, size)
 }
 
+// ReadFile honours Torn rules as torn reads: the caller gets a
+// seeded-random prefix of the real content together with the injected
+// error — the shape an EIO partway through a large read leaves in the
+// caller's buffer. A recovery path that retries on error never sees
+// the short data as a success.
 func (f *Fault) ReadFile(name string) ([]byte, error) {
-	if d := f.gate(OpReadFile, name, 0); d.err != nil {
+	d := f.gate(OpReadFile, name, 0)
+	if d.err != nil {
+		if d.torn {
+			data, rerr := f.inner.ReadFile(name)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return data[:f.tornPrefix(len(data))], d.err
+		}
 		return nil, d.err
 	}
 	return f.inner.ReadFile(name)
+}
+
+// tornPrefix draws a torn-read prefix length under the mutex so the
+// seeded sequence stays deterministic.
+func (f *Fault) tornPrefix(n int) int {
+	if n == 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Intn(n)
 }
 
 func (f *Fault) ReadDir(name string) ([]os.DirEntry, error) {
@@ -280,6 +335,19 @@ func (f *Fault) Lock(dir string) (io.Closer, error) {
 		return nil, d.err
 	}
 	return f.inner.Lock(dir)
+}
+
+func (f *Fault) Free(dir string) (uint64, error) {
+	if d := f.gate(OpFree, dir, 0); d.err != nil {
+		return 0, d.err
+	}
+	f.mu.Lock()
+	set, free := f.freeSet, f.free
+	f.mu.Unlock()
+	if set {
+		return free, nil
+	}
+	return f.inner.Free(dir)
 }
 
 // --- File surface -----------------------------------------------------

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package vfs
+
+import "errors"
+
+// freeBytes is unavailable off unix; callers treat the error as
+// "unknown free space", never as "full".
+func freeBytes(dir string) (uint64, error) {
+	return 0, errors.New("vfs: free-space query not supported on this platform")
+}
+
+// IsDiskFull conservatively reports false off unix: an unclassified
+// failure poisons rather than entering read-only mode.
+func IsDiskFull(err error) bool { return false }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+// IsDiskFull reports whether err is an out-of-space condition (ENOSPC
+// or EDQUOT) — the class of store failure that is transient and heals
+// when space frees, unlike EIO or corruption. Lives here because
+// internal/tsdb must not import syscall (the vfsseam invariant).
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// freeBytes reports the bytes available to an unprivileged writer on
+// the filesystem holding dir (f_bavail, not f_bfree: root-reserved
+// blocks do not help the store).
+func freeBytes(dir string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return uint64(st.Bavail) * uint64(st.Bsize), nil
+}

@@ -56,6 +56,11 @@ type FS interface {
 	// Closing the returned Closer releases the lock; it may be nil on
 	// platforms without locking.
 	Lock(dir string) (io.Closer, error)
+	// Free reports the bytes available to an unprivileged writer on
+	// the filesystem holding dir (statfs where available). Platforms
+	// without the query report an error; callers treat that as
+	// "unknown", never as "full".
+	Free(dir string) (uint64, error)
 }
 
 // OS is the production FS: direct passthrough to the os package.
@@ -98,3 +103,4 @@ func (OS) SyncDir(dir string) error {
 
 func (OS) MapFile(name string) (*Mapping, error) { return mapFile(name) }
 func (OS) Lock(dir string) (io.Closer, error)    { return lockDir(dir) }
+func (OS) Free(dir string) (uint64, error)       { return freeBytes(dir) }
