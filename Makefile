@@ -26,7 +26,13 @@
 #                    writes machine-readable results to BENCH_<rev>.json
 #                    plus the raw text to BENCH_<rev>.txt
 #                    so per-PR benchmark trajectories can accumulate
-#                    (includes the server throughput pair at -cpu 8)
+#                    (includes the server throughput pair at -cpu 8);
+#                    afterwards scrapes /metrics from an instrumented
+#                    server under a representative workload and folds
+#                    the latency-histogram families into the JSON
+#                    (raw exposition: BENCH_<rev>.metrics.txt)
+#   make obs-golden - the Prometheus exposition golden alone (also part
+#                    of check): /metrics text must stay byte-stable
 #   make bench-compare - benchstat (or a plain-awk fallback) over the
 #                    two most recent BENCH_<rev>.txt files
 #   make vet       - static analysis only (the stock go vet pass)
@@ -43,9 +49,16 @@ REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 FUZZTIME ?= 10s
 CHAOSTIME ?= 2s
 
-.PHONY: check test test-race vet lint fmt-check bench bench-compare fuzz-short chaos-short
+.PHONY: check test test-race vet lint fmt-check bench bench-compare fuzz-short chaos-short obs-golden
 
-check: test-race vet lint fmt-check chaos-short
+check: test-race vet lint fmt-check chaos-short obs-golden
+
+# The Prometheus exposition is operator-facing API: scrapers parse it.
+# The golden pins it byte-for-byte (family ordering, label sorting,
+# histogram cumulative buckets, float formatting); -count=1 defeats
+# the cache so the gate always re-reads the golden file.
+obs-golden:
+	$(GO) test -count=1 -run '^TestExpositionGolden$$' ./internal/obs
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

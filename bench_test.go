@@ -450,7 +450,7 @@ func (f benchLevelSource) WindowMean(metric string, node int, w telemetry.Window
 
 func (f benchLevelSource) NodeCount() int { return f.nodes }
 
-func benchServerDictionary(b *testing.B) *core.Dictionary {
+func benchServerDictionary(b testing.TB) *core.Dictionary {
 	b.Helper()
 	d, err := core.NewDictionary(core.DefaultConfig(2))
 	if err != nil {
@@ -472,7 +472,7 @@ type benchWireSample struct {
 
 // benchServerWorkload registers nJobs jobs against the handler and
 // returns one prebuilt ingest body and poll path per job.
-func benchServerWorkload(b *testing.B, h http.Handler, nJobs int) (bodies [][]byte, polls []string) {
+func benchServerWorkload(b testing.TB, h http.Handler, nJobs int) (bodies [][]byte, polls []string) {
 	b.Helper()
 	for i := 0; i < nJobs; i++ {
 		id := fmt.Sprintf("bench-job-%03d", i)

@@ -21,16 +21,29 @@
 // directory replays the WAL so running jobs resume exactly where the
 // previous process left them. Graceful shutdown flushes pending
 // executions into segments before exiting.
+//
+// Observability (API.md "Observability"): the daemon logs through
+// log/slog (-log-format text|json, -log-level), always registers the
+// full metrics kit, and serves the Prometheus exposition on GET
+// /metrics plus the slow-request ring on GET /v1/debug/slow. With
+// -ops-addr the same surface — plus net/http/pprof — is served on a
+// separate operations listener that can stay off the service's
+// exposure. Every request carries an X-Efd-Trace ID (propagated from
+// the caller or generated from a crypto-seeded generator).
 package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,6 +52,7 @@ import (
 
 	"repro/efd/monitor"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/tsdb"
 )
@@ -68,6 +82,10 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		maxIngestMB      = fs.Int("max-ingest-mb", 64, "ingest admission cap: in-flight payload megabytes across concurrent requests; exceeding it sheds with 429 + Retry-After (-1: unlimited)")
 		maxIngestBatches = fs.Int("max-ingest-batches", 256, "ingest admission cap: concurrent in-flight ingest requests (-1: unlimited)")
 		diskLowMB        = fs.Int("disk-low-mb", 0, "disk headroom watermark in megabytes: segment flushes are refused while the store volume has less free space, and a disk-full read-only engine waits for at least this much before resuming durable writes (0: disabled)")
+
+		logFormat = fs.String("log-format", "text", "structured log output format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		opsAddr   = fs.String("ops-addr", "", "separate operations listener serving GET /metrics (Prometheus text exposition), /debug/pprof/, and /v1/debug/slow; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,6 +93,22 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		}
 		return err
 	}
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(out, hopts)
+	case "json":
+		handler = slog.NewJSONHandler(out, hopts)
+	default:
+		return fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	f, err := os.Open(*dictPath)
 	if err != nil {
@@ -86,13 +120,14 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		return fmt.Errorf("load dictionary: %w", err)
 	}
 	st := dict.Stats()
-	fmt.Fprintf(out, "efdd: dictionary %s — %d keys, %d labels, depth %d\n",
-		*dictPath, st.Keys, st.Labels, st.Depth)
+	logger.Info("dictionary loaded",
+		"path", *dictPath, "keys", st.Keys, "labels", st.Labels, "depth", st.Depth)
 
 	// The server is a thin HTTP adapter over the public monitoring
 	// engine; everything the daemon does is available in-process via
 	// efd/monitor.
 	eng := monitor.New(dict)
+	eng.Logger = logger
 	eng.MaxJobs = *maxJobs
 	if *maxIngestMB < 0 {
 		eng.MaxIngestBytes = -1
@@ -104,13 +139,26 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 	}
 	srv := server.NewEngine(eng)
 
+	// The observability plane: one registry carries the engine, tsdb,
+	// and HTTP families; the main listener serves it at GET /metrics
+	// and -ops-addr (below) re-serves it off the request path. The
+	// tracer seed comes from crypto/rand (constant fallback) — never
+	// from the wall clock, which stays out of global state.
+	reg := obs.NewRegistry()
+	eng.EnableMetrics(reg)
+	seed := uint64(0x9E3779B97F4A7C15)
+	var sb [8]byte
+	if _, err := crand.Read(sb[:]); err == nil {
+		seed = binary.LittleEndian.Uint64(sb[:])
+	}
+	srv.EnableObs(reg, seed)
+
 	if *dataDir != "" {
 		opts := monitor.StoreOptions{}
 		if *diskLowMB > 0 {
 			opts.DiskLowBytes = int64(*diskLowMB) << 20
 		}
-		recovered, err := eng.OpenStore(*dataDir, opts)
-		if err != nil {
+		if _, err := eng.OpenStore(*dataDir, opts); err != nil {
 			if errors.Is(err, tsdb.ErrLocked) {
 				// The flock is per-directory, so this is almost always a
 				// second efdd pointed at the same -data-dir. Name the
@@ -123,22 +171,13 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 			// the store truly cannot open.
 			return fmt.Errorf("open telemetry store %s: recovery impossible: %w", *dataDir, err)
 		}
-		st := eng.Stats().Store
-		rec := eng.Store().Recovery()
-		fmt.Fprintf(out, "efdd: telemetry store %s — %d jobs recovered in %v (%d WAL records replayed), %d stored executions, %d segments\n",
-			*dataDir, recovered, rec.Duration.Round(time.Millisecond), rec.ReplayedRecords, st.Executions, st.Segments)
-		if rec.RetriedOps > 0 {
-			fmt.Fprintf(out, "efdd: store recovery retried %d transient I/O failures\n", rec.RetriedOps)
-		}
-		if st.QuarantinedWALBytes > 0 || st.QuarantinedSegments > 0 {
-			fmt.Fprintf(out, "efdd: store recovery quarantined %d WAL bytes, %d segments\n",
-				st.QuarantinedWALBytes, st.QuarantinedSegments)
-		}
-		// List every quarantine artifact — this run's and any earlier
+		// The engine itself logged the store_recovery (and any
+		// store_quarantine) event through eng.Logger. List every
+		// quarantine artifact on disk — this run's and any earlier
 		// one's — so an operator tailing the startup log knows exactly
 		// which files hold the evidence and how much of it there is.
 		for _, q := range quarantineFiles(*dataDir) {
-			fmt.Fprintf(out, "efdd: quarantined file %s (%d bytes)\n", q.path, q.size)
+			logger.Warn("quarantined file", "path", q.path, "bytes", q.size)
 		}
 	}
 
@@ -150,9 +189,33 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		eng.CloseStore()
 		return err
 	}
-	fmt.Fprintf(out, "efdd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if onListen != nil {
 		onListen(ln.Addr().String())
+	}
+
+	// The optional ops listener keeps scrapes, profiles, and debug
+	// reads off the service listener (and off its timeouts): /metrics
+	// for Prometheus, the full net/http/pprof surface, and the
+	// slow-request ring.
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			eng.CloseStore()
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		opsMux := http.NewServeMux()
+		opsMux.Handle("/metrics", reg.Handler())
+		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		opsMux.Handle("/v1/debug/slow", srv.DebugSlowHandler())
+		opsSrv = &http.Server{Handler: opsMux, ReadHeaderTimeout: 5 * time.Second}
+		logger.Info("ops listening", "addr", opsLn.Addr().String())
+		go opsSrv.Serve(opsLn)
 	}
 
 	httpSrv := &http.Server{
@@ -178,7 +241,7 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		// label, the very bug -save exists to fix.
 		exitErr = fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
-		fmt.Fprintf(out, "efdd: shutting down\n")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		// A shutdown timeout on a straggling connection is not fatal
@@ -191,6 +254,11 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 			<-serveErr // Serve has returned http.ErrServerClosed
 		}
 	}
+	if opsSrv != nil {
+		// Ops requests are short (scrapes, profile pulls); an abrupt
+		// close beats delaying the store flush behind a long profile.
+		opsSrv.Close()
+	}
 	if eng.HasStore() {
 		// Graceful-shutdown flush: pending finished executions land in
 		// an immutable segment and the WAL is synced, so the next
@@ -198,7 +266,7 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 		if err := eng.CloseStore(); err != nil {
 			exitErr = errors.Join(exitErr, fmt.Errorf("close telemetry store: %w", err))
 		} else {
-			fmt.Fprintf(out, "efdd: telemetry store flushed\n")
+			logger.Info("telemetry store flushed")
 		}
 	}
 	if *savePath != "" {
@@ -207,7 +275,7 @@ func run(ctx context.Context, args []string, out io.Writer, onListen func(addr s
 			// the serve/shutdown error that took the daemon down.
 			return errors.Join(exitErr, fmt.Errorf("save dictionary: %w", err))
 		}
-		fmt.Fprintf(out, "efdd: dictionary saved to %s\n", *savePath)
+		logger.Info("dictionary saved", "path", *savePath)
 	}
 	return exitErr
 }

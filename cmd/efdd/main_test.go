@@ -351,8 +351,8 @@ func TestQuarantineStartupLog(t *testing.T) {
 
 	log := out.String()
 	for _, want := range []string{
-		"quarantined file " + qPath + " (123 bytes)",
-		"quarantined file " + cPath + " (456 bytes)",
+		`msg="quarantined file" path=` + qPath + " bytes=123",
+		`msg="quarantined file" path=` + cPath + " bytes=456",
 	} {
 		if !strings.Contains(log, want) {
 			t.Errorf("startup log missing %q:\n%s", want, log)
@@ -450,7 +450,8 @@ func TestDiskLowWatermarkFlag(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down")
 	}
-	if log := out.String(); !strings.Contains(log, "jobs recovered in ") {
-		t.Errorf("startup log missing recovery duration:\n%s", log)
+	log := out.String()
+	if !strings.Contains(log, "telemetry store recovered") || !strings.Contains(log, "duration_ms=") {
+		t.Errorf("startup log missing store recovery event with duration:\n%s", log)
 	}
 }

@@ -92,6 +92,35 @@ func WithRetry(max int, base time.Duration) Option {
 // WithBinaryIngest selects the IngestRuns wire encoding.
 func WithBinaryIngest(mode BinaryMode) Option { return func(c *Client) { c.binary = mode } }
 
+// Metrics is an optional set of instrumentation callbacks, one per
+// client-side resilience event. Nil fields are skipped; non-nil ones
+// must be safe for concurrent use (an atomic counter's Add, or an
+// obs.Counter method value, is the intended shape). Callbacks fire
+// outside the client's locks.
+type Metrics struct {
+	// BreakerOpen fires when an endpoint's circuit breaker trips open
+	// (consecutive failures reached the threshold). Re-arming the
+	// cooldown on a failed half-open probe does not re-count.
+	BreakerOpen func()
+	// BreakerClose fires when a tripped breaker closes again (a
+	// request succeeded).
+	BreakerClose func()
+	// Retry fires at the start of every retry pass — the request is
+	// about to be re-sent after a backoff sleep.
+	Retry func()
+	// Failover fires when a request succeeds on an endpoint other
+	// than the first one tried (the home endpoint was down, shedding,
+	// or breaker-sidelined).
+	Failover func()
+	// Shed fires when a server sheds a request with 429 (the ingest
+	// admission gate under overload).
+	Shed func()
+}
+
+// WithMetrics installs instrumentation callbacks for breaker,
+// retry, failover, and shed events. See Metrics.
+func WithMetrics(m Metrics) Option { return func(c *Client) { c.met = m } }
+
 // WithCircuitBreaker arms a circuit breaker — one per endpoint: after
 // threshold consecutive failed requests (connection errors, 5xx, 429)
 // against an endpoint the client fast-fails its calls with
@@ -122,6 +151,8 @@ type Client struct {
 	// per-endpoint breakers are built from them at construction.
 	brThreshold int
 	brCooldown  time.Duration
+
+	met Metrics // WithMetrics instrumentation callbacks (zero = off)
 
 	// eps are the endpoints, primary first; always at least one. The
 	// slice is immutable after construction — routing copies it.
@@ -159,6 +190,11 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 
+	// onOpen/onClose fire on open/closed transitions (outside the
+	// lock); either may be nil.
+	onOpen  func()
+	onClose func()
+
 	mu        sync.Mutex
 	fails     int
 	openUntil time.Time
@@ -176,14 +212,22 @@ func (b *breaker) allow() bool {
 
 func (b *breaker) record(ok bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	wasOpen := b.fails >= b.threshold
 	if ok {
 		b.fails = 0
-		return
+	} else {
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openUntil = time.Now().Add(b.cooldown)
+		}
 	}
-	b.fails++
-	if b.fails >= b.threshold {
-		b.openUntil = time.Now().Add(b.cooldown)
+	nowOpen := b.fails >= b.threshold
+	b.mu.Unlock()
+	switch {
+	case !wasOpen && nowOpen && b.onOpen != nil:
+		b.onOpen()
+	case wasOpen && !nowOpen && b.onClose != nil:
+		b.onClose()
 	}
 }
 
@@ -276,6 +320,9 @@ func (c *Client) doRouted(ctx context.Context, method, path, contentType string,
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			if c.met.Retry != nil {
+				c.met.Retry()
+			}
 			backoff := c.backoffBase << (attempt - 1)
 			select {
 			case <-ctx.Done():
@@ -291,6 +338,9 @@ func (c *Client) doRouted(ctx context.Context, method, path, contentType string,
 			}
 			err := c.tryEndpoint(ctx, ep, method, path, contentType, body, out)
 			if err == nil {
+				if i > 0 && c.met.Failover != nil {
+					c.met.Failover()
+				}
 				return nil
 			}
 			if errors.Is(err, ErrCircuitOpen) {
@@ -358,6 +408,9 @@ func (c *Client) tryEndpoint(ctx context.Context, ep *endpoint, method, path, co
 			return nil
 		}
 		return json.Unmarshal(raw, out)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests && c.met.Shed != nil {
+		c.met.Shed()
 	}
 	apiErr := decodeAPIError(resp.StatusCode, raw)
 	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {

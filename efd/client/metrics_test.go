@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// counters is a Metrics wired to atomic tallies — the shape a caller
+// instrumenting the client would use.
+type counters struct {
+	open, closed, retry, failover, shed atomic.Int64
+}
+
+func (m *counters) hooks() Metrics {
+	return Metrics{
+		BreakerOpen:  func() { m.open.Add(1) },
+		BreakerClose: func() { m.closed.Add(1) },
+		Retry:        func() { m.retry.Add(1) },
+		Failover:     func() { m.failover.Add(1) },
+		Shed:         func() { m.shed.Add(1) },
+	}
+}
+
+func TestMetricsBreakerOpenClose(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	var m counters
+	c := New(ts.URL,
+		WithRetry(0, 0),
+		WithCircuitBreaker(2, 20*time.Millisecond),
+		WithMetrics(m.hooks()))
+	ctx := context.Background()
+
+	// Two consecutive failures trip the breaker: exactly one open
+	// event, and the next call fast-fails without reaching the server.
+	for i := 0; i < 2; i++ {
+		if err := c.Health(ctx); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if got := m.open.Load(); got != 1 {
+		t.Fatalf("opens after trip = %d, want 1", got)
+	}
+	if err := c.Health(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("tripped-breaker error = %v, want ErrCircuitOpen", err)
+	}
+	if got := m.open.Load(); got != 1 {
+		t.Fatalf("fast-fail must not re-count opens, got %d", got)
+	}
+
+	// After the cooldown a successful probe closes the breaker once.
+	failing.Store(false)
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if got := m.closed.Load(); got != 1 {
+		t.Fatalf("closes = %d, want 1", got)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.closed.Load(); got != 1 {
+		t.Fatalf("a success on a closed breaker must not re-count, got %d", got)
+	}
+}
+
+func TestMetricsRetryAndShed(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	var m counters
+	c := New(ts.URL, WithRetry(2, time.Millisecond), WithMetrics(m.hooks()))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.retry.Load(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer shedding.Close()
+	c2 := New(shedding.URL, WithRetry(0, 0), WithMetrics(m.hooks()))
+	if _, err := c2.Ingest(context.Background(), "job", nil); err == nil {
+		t.Fatal("expected shed error")
+	}
+	if got := m.shed.Load(); got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+}
+
+func TestMetricsFailover(t *testing.T) {
+	healthy := `{"status":"healthy"}`
+	// The home endpoint answers its health probe but fails real
+	// requests, so routing still tries it first and the request has to
+	// walk forward — a genuine failover.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/health" {
+			w.Write([]byte(healthy))
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(healthy))
+	}))
+	defer good.Close()
+
+	var m counters
+	// Affinity "" hashes to index 1 of two endpoints, so the bad
+	// server is the home of fleet-level reads.
+	c := NewMulti([]string{good.URL, bad.URL}, WithRetry(0, 0), WithMetrics(m.hooks()))
+	defer c.Close()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.failover.Load(); got != 1 {
+		t.Fatalf("failovers = %d, want 1", got)
+	}
+}

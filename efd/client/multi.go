@@ -133,7 +133,12 @@ func NewMulti(baseURLs []string, opts ...Option) *Client {
 	}
 	if c.brThreshold > 0 && c.brCooldown > 0 {
 		for _, ep := range c.eps {
-			ep.br = &breaker{threshold: c.brThreshold, cooldown: c.brCooldown}
+			ep.br = &breaker{
+				threshold: c.brThreshold,
+				cooldown:  c.brCooldown,
+				onOpen:    c.met.BreakerOpen,
+				onClose:   c.met.BreakerClose,
+			}
 		}
 	}
 	if len(c.eps) > 1 {

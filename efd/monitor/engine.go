@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -127,7 +128,20 @@ type Engine struct {
 	// before serving traffic.
 	StoreProbeInterval time.Duration
 
+	// Logger, when set before serving traffic, receives the engine's
+	// structured operational events — store degrade/heal/read-only
+	// transitions (exactly one event per transition), recovery, and
+	// quarantine reports. nil discards.
+	Logger *slog.Logger
+
 	met counters
+
+	// obsm holds the latency/distribution instruments registered by
+	// EnableMetrics; nil means the ingest path takes no clock readings.
+	obsm *engineObs
+	// inst is forwarded to the store on OpenStore and on every probe
+	// reopen, so tsdb-level instruments survive store incarnations.
+	inst tsdb.Instruments
 }
 
 type shard struct {
@@ -176,6 +190,11 @@ type counters struct {
 	shed            atomic.Int64
 	probeAttempts   atomic.Int64
 	probeReopens    atomic.Int64
+	// Store-mode transition counters, bumped exactly once per
+	// transition alongside the matching log event (see health.go).
+	storeDegraded atomic.Int64
+	storeReadonly atomic.Int64
+	storeHealed   atomic.Int64
 }
 
 // New returns an engine over the dictionary. The engine takes
@@ -386,6 +405,13 @@ func (e *Engine) Lookup(id string) (*Job, bool) {
 // the number of samples fed and the sorted IDs of unknown jobs;
 // feeding the rest proceeds despite unknowns.
 func (e *Engine) IngestBatches(batches []Batch) (accepted int, unknown []string, err error) {
+	start := e.obsStart()
+	accepted, unknown, err = e.ingestBatches(batches)
+	e.observeIngest(start, accepted)
+	return accepted, unknown, err
+}
+
+func (e *Engine) ingestBatches(batches []Batch) (accepted int, unknown []string, err error) {
 	// Count attempts first so rejected batches stay a subset of
 	// attempted ones in Stats (rejection rate can never read above
 	// 100%).
@@ -479,6 +505,13 @@ func (e *Engine) resolveByShard(n int, id func(int) string) (work []resolvedJob,
 // happens: each run feeds the stream (and the WAL) as one columnar
 // append.
 func (e *Engine) IngestRuns(batches []RunBatch) (accepted int, unknown []string, err error) {
+	start := e.obsStart()
+	accepted, unknown, err = e.ingestRuns(batches)
+	e.observeIngest(start, accepted)
+	return accepted, unknown, err
+}
+
+func (e *Engine) ingestRuns(batches []RunBatch) (accepted int, unknown []string, err error) {
 	e.met.sampleBatches.Add(int64(len(batches)))
 	invalid := 0
 	var firstErr error
@@ -768,14 +801,15 @@ func (jb *Job) Ingest(samples []Sample) (int, error) {
 		return 0, err
 	}
 	jb.e.met.sampleBatches.Add(1)
+	start := jb.e.obsStart()
 	n, ok, err := jb.e.feedSamples(jb.id, jb.j, samples)
-	if err != nil {
-		return n, err
+	if err == nil && ok {
+		err = jb.e.commitAccepted(n)
+	} else if err == nil {
+		err = fmt.Errorf("%w: %q", ErrUnknownJob, jb.id)
 	}
-	if !ok {
-		return n, fmt.Errorf("%w: %q", ErrUnknownJob, jb.id)
-	}
-	return n, jb.e.commitAccepted(n)
+	jb.e.observeIngest(start, n)
+	return n, err
 }
 
 // IngestRun feeds one columnar (metric, node) run.
@@ -787,14 +821,15 @@ func (jb *Job) IngestRun(metric string, node int, offsets []time.Duration, value
 		return 0, err
 	}
 	jb.e.met.sampleBatches.Add(1)
+	start := jb.e.obsStart()
 	n, ok, err := jb.e.feedRuns(jb.id, jb.j, runs)
-	if err != nil {
-		return n, err
+	if err == nil && ok {
+		err = jb.e.commitAccepted(n)
+	} else if err == nil {
+		err = fmt.Errorf("%w: %q", ErrUnknownJob, jb.id)
 	}
-	if !ok {
-		return n, fmt.Errorf("%w: %q", ErrUnknownJob, jb.id)
-	}
-	return n, jb.e.commitAccepted(n)
+	jb.e.observeIngest(start, n)
+	return n, err
 }
 
 // Result answers with the job's current recognition state —
@@ -830,6 +865,7 @@ func (jb *Job) Result() (State, error) {
 	})
 	jb.j.mu.Unlock()
 	jb.e.met.recognitions.Add(1)
+	jb.e.observeRecognition(&out)
 	return out, nil
 }
 

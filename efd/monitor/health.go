@@ -306,6 +306,11 @@ func (e *Engine) readonlyStore(err error) {
 	e.healthMu.Lock()
 	e.healthErr = err
 	e.healthMu.Unlock()
+	// Exactly one event + counter bump per transition: the CAS above
+	// admits a single caller.
+	e.met.storeReadonly.Add(1)
+	e.logger().Warn("store entered read-only mode; shedding writes",
+		"event", "store_readonly", "error", err.Error())
 	e.startProbe()
 }
 
@@ -319,6 +324,9 @@ func (e *Engine) degradeStore(err error) {
 	e.healthErr = err
 	e.degradedSince = time.Now()
 	e.healthMu.Unlock()
+	e.met.storeDegraded.Add(1)
+	e.logger().Error("store degraded; serving memory-only",
+		"event", "store_degrade", "error", err.Error())
 	e.startProbe()
 }
 
@@ -421,6 +429,17 @@ func (e *Engine) attemptReopen() bool {
 			e.degradedSince = time.Now()
 		}
 		e.healthMu.Unlock()
+		if mode == storeModeReadonly {
+			// readonly → degraded is a real transition (reads are gone
+			// too); repeated failed reopens while already degraded are
+			// not, and stay at debug level.
+			e.met.storeDegraded.Add(1)
+			e.logger().Error("store degraded; serving memory-only",
+				"event", "store_degrade", "error", err.Error())
+		} else {
+			e.logger().Debug("store reopen attempt failed",
+				"event", "store_reopen_failed", "error", err.Error())
+		}
 		return false
 	}
 	if mode == storeModeReadonly {
@@ -461,6 +480,9 @@ func (e *Engine) attemptReopen() bool {
 	e.degradedSince = time.Time{}
 	e.healthMu.Unlock()
 	e.met.probeReopens.Add(1)
+	e.met.storeHealed.Add(1)
+	e.logger().Info("store reopened; durable mode resumed",
+		"event", "store_heal", "from", modeName(mode))
 	return true
 }
 

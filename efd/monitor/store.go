@@ -14,6 +14,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -54,6 +55,10 @@ func (e *Engine) OpenStore(dir string, opt StoreOptions) (recovered int, err err
 		HistBins:     opt.HistBins,
 		NoSync:       opt.NoSync,
 		DiskLowBytes: opt.DiskLowBytes,
+		// Store-level instruments from EnableMetrics (zero when metrics
+		// are off). They ride in the saved Options, so probe reopens
+		// keep observing into the same instruments.
+		Inst: e.inst,
 	})
 	if err != nil {
 		return 0, err
@@ -109,6 +114,20 @@ func (e *Engine) AttachStore(st *tsdb.Store) (recovered int, err error) {
 		sh.mu.Unlock()
 	}
 	e.met.recovered.Store(int64(recovered))
+	rec := st.Recovery()
+	e.logger().Info("telemetry store recovered",
+		"event", "store_recovery",
+		"recovered_jobs", recovered,
+		"executions", len(st.Executions()),
+		"replayed_records", rec.ReplayedRecords,
+		"retried_ops", rec.RetriedOps,
+		"duration_ms", float64(rec.Duration)/float64(time.Millisecond))
+	if rec.QuarantinedSegments > 0 || rec.QuarantinedWALBytes > 0 {
+		e.logger().Warn("store quarantined unreadable data during recovery",
+			"event", "store_quarantine",
+			"segments", rec.QuarantinedSegments,
+			"wal_bytes", rec.QuarantinedWALBytes)
+	}
 	return recovered, nil
 }
 
@@ -238,6 +257,7 @@ func (e *Engine) RecognizeStored(id string) (State, error) {
 		}
 	})
 	e.met.rerecognitions.Add(1)
+	e.observeRecognition(&out)
 	return out, nil
 }
 
@@ -251,7 +271,8 @@ func (e *Engine) storeStats() *StoreStats {
 		return nil
 	}
 	st := store.Stats()
-	return &StoreStats{
+	rec := store.Recovery()
+	out := &StoreStats{
 		LiveJobs:            st.LiveJobs,
 		PendingJobs:         st.PendingJobs,
 		Executions:          st.Executions,
@@ -267,5 +288,19 @@ func (e *Engine) storeStats() *StoreStats {
 		LastFlushError:      st.LastFlushError,
 		RecoveredJobs:       e.met.recovered.Load(),
 		Rerecognitions:      e.met.rerecognitions.Load(),
+		RecoveryRetriedOps:  rec.RetriedOps,
+		// Floor seconds, like DegradedForS's wire resolution: recovery
+		// of a healthy test store reads a stable 0.
+		RecoveryDurationS: int64(rec.Duration / time.Second),
 	}
+	// Same presence rule as the /v1/health disk section: the store's
+	// disk state appears once it is interesting.
+	if mode := e.storeMode.Load(); e.storeOpts.DiskLowBytes > 0 || mode == storeModeReadonly {
+		d := &DiskHealth{FreeBytes: -1, LowWatermarkBytes: e.storeOpts.DiskLowBytes, ReadOnly: mode == storeModeReadonly}
+		if free, ok := store.DiskFree(); ok {
+			d.FreeBytes = int64(min(free, uint64(math.MaxInt64)))
+		}
+		out.Disk = d
+	}
+	return out
 }

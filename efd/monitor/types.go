@@ -161,6 +161,16 @@ type StoreStats struct {
 	LastFlushError      string `json:"last_flush_error,omitempty"`
 	RecoveredJobs       int64  `json:"recovered_jobs"`
 	Rerecognitions      int64  `json:"rerecognitions_total"`
+	// RecoveryRetriedOps / RecoveryDurationS surface the last
+	// recovery's fault-tolerance work (tsdb.RecoveryStats), unifying
+	// GET /v1/metrics with the store facts GET /v1/health reports.
+	// Duration is floor seconds, so healthy stores read a stable 0.
+	RecoveryRetriedOps int64 `json:"recovery_retried_ops"`
+	RecoveryDurationS  int64 `json:"recovery_duration_s"`
+	// Disk mirrors the /v1/health disk section under the same presence
+	// rule: shown when a low-space watermark is configured or the
+	// store is in read-only mode.
+	Disk *DiskHealth `json:"disk,omitempty"`
 }
 
 // ExecutionInfo describes one stored (finished) execution.

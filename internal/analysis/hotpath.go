@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // HotPathMarker is the doc-comment directive that opts a function
@@ -16,9 +17,15 @@ const HotPathMarker = "//efd:hotpath"
 // non-constant string concatenation, and no map allocation. The
 // point is catching alloc regressions at review time instead of bench
 // time — formatting belongs in cold helpers the error path calls.
+//
+// Observability (PR 9) extends the contract: no slog calls (every
+// handler allocates attribute slices), and of the internal/obs kit
+// only the instrument fast paths — Counter.Add/Inc, Gauge.Set/Add,
+// Histogram.Observe and the atomic reads — are allowed; registration
+// and exposition belong at construction/scrape time.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "//efd:hotpath functions must stay free of fmt, time.Now, string concat, and map allocation",
+	Doc:  "//efd:hotpath functions must stay free of fmt, time.Now, slog, string concat, map allocation, and non-fast-path obs calls",
 	Run:  runHotPath,
 }
 
@@ -83,13 +90,24 @@ func (h *hotWalker) call(x *ast.CallExpr) {
 	if fn == nil || fn.Pkg() == nil {
 		return
 	}
-	switch fn.Pkg().Path() {
-	case "fmt":
+	switch path := fn.Pkg().Path(); {
+	case path == "fmt":
 		h.pass.Reportf(x.Pos(), "fmt.%s in a hot path allocates: move formatting to a cold error-path helper", fn.Name())
-	case "time":
+	case path == "time":
 		switch fn.Name() {
 		case "Now", "Since", "Until":
 			h.pass.Reportf(x.Pos(), "time.%s in a hot path costs a clock read per call: take the timestamp once outside", fn.Name())
+		}
+	case path == "log/slog":
+		h.pass.Reportf(x.Pos(), "slog.%s in a hot path allocates: emit a counter here and log from the cold path", fn.Name())
+	case strings.HasSuffix(path, "internal/obs"):
+		// Only the alloc-free instrument fast paths are hot-path
+		// safe; registration, exposition, and tracing helpers are
+		// construction/scrape-time API.
+		switch fn.Name() {
+		case "Add", "Inc", "Set", "Observe", "Value", "Count", "Sum":
+		default:
+			h.pass.Reportf(x.Pos(), "obs.%s in a hot path allocates: only the instrument fast paths (Add, Inc, Set, Observe) are hot-path safe", fn.Name())
 		}
 	}
 }

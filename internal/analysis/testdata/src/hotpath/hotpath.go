@@ -5,7 +5,10 @@ package hotpath
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // decode is a marked hot function: every allocating idiom below is
@@ -31,8 +34,31 @@ func decode(name, field string, n int) (string, error) {
 	return key, nil
 }
 
-// format is cold — no marker, so fmt stays legal here.
-func format(n int) string { return fmt.Sprintf("%d", n) }
+// observe is a marked hot function exercising the observability
+// rules: the obs instrument fast paths stay legal, everything else in
+// the kit — and any slog call — is flagged.
+//
+//efd:hotpath
+func observe(log *slog.Logger, reg *obs.Registry, c *obs.Counter, g *obs.Gauge, h *obs.Histogram, v float64) int64 {
+	c.Add(1)
+	c.Inc()
+	g.Set(v)
+	g.Add(-v)
+	h.Observe(v)
+	log.Info("observed", "v", v)              // want `slog.Info in a hot path allocates`
+	slog.Warn("observed")                     // want `slog.Warn in a hot path allocates`
+	_ = reg.Counter("x_total", "", "a count") // want `obs.Counter in a hot path allocates`
+	return c.Value() + h.Count()
+}
+
+// format is cold — no marker, so fmt stays legal here; so are slog
+// and obs registration.
+func format(log *slog.Logger, reg *obs.Registry, n int) string {
+	log.Info("formatting", "n", n)
+	reg.Counter("format_total", "", "calls").Inc()
+	return fmt.Sprintf("%d", n)
+}
 
 var _ = decode
+var _ = observe
 var _ = format

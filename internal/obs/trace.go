@@ -1,0 +1,168 @@
+package obs
+
+// Request tracing: seeded trace-ID generation (no wall-clock-derived
+// global state, so IDs are reproducible under a fixed seed), a span
+// that accumulates named stage timings through the request context,
+// and a ring of the slowest requests for GET /v1/debug/slow.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the request/response header carrying the trace ID.
+// A client-supplied ID is propagated; otherwise the server mints one.
+const TraceHeader = "X-Efd-Trace"
+
+// Tracer mints 16-hex-digit trace IDs from a splitmix64 sequence over
+// an explicit seed — deterministic in tests, unique enough in
+// production when seeded from crypto/rand.
+type Tracer struct {
+	state atomic.Uint64
+}
+
+// NewTracer returns a tracer whose ID sequence is a pure function of
+// seed.
+func NewTracer(seed uint64) *Tracer {
+	t := &Tracer{}
+	t.state.Store(seed)
+	return t
+}
+
+// NextID returns the next trace ID: 16 lowercase hex digits.
+func (t *Tracer) NextID() string {
+	x := t.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// Stage is one named, timed phase of a request.
+type Stage struct {
+	Name       string  `json:"name"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Span carries one request's trace ID and stage timings. Handlers
+// reach it through the request context (SpanFrom) and record the
+// phases they own; methods are no-ops on a nil span, so handlers need
+// no "is tracing on" branches.
+type Span struct {
+	TraceID string
+
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewSpan starts a span for the given trace ID.
+func NewSpan(traceID string) *Span {
+	return &Span{TraceID: traceID}
+}
+
+// RecordStage appends one named stage timing.
+func (s *Span) RecordStage(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stages = append(s.stages, Stage{Name: name, DurationMS: float64(d) / float64(time.Millisecond)})
+	s.mu.Unlock()
+}
+
+// Stages snapshots the recorded stages in record order.
+func (s *Span) Stages() []Stage {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Stage(nil), s.stages...)
+}
+
+type spanKey struct{}
+
+// ContextWithSpan attaches a span to a context.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's span, or nil when tracing is off.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SlowRequest is one entry of the slow-request ring — the
+// GET /v1/debug/slow element shape.
+type SlowRequest struct {
+	Trace      string  `json:"trace"`
+	Method     string  `json:"method"`
+	Route      string  `json:"route"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Stages     []Stage `json:"stages,omitempty"`
+}
+
+// SlowRing keeps the N slowest requests seen so far. Record is O(N)
+// under a mutex with N small (the default ring holds 32), which is
+// noise next to the request it measures.
+type SlowRing struct {
+	mu   sync.Mutex
+	max  int
+	reqs []SlowRequest
+}
+
+// NewSlowRing returns a ring keeping the n slowest requests.
+func NewSlowRing(n int) *SlowRing {
+	if n < 1 {
+		n = 1
+	}
+	return &SlowRing{max: n, reqs: make([]SlowRequest, 0, n)}
+}
+
+// Record offers one request to the ring; it displaces the current
+// fastest entry once the ring is full.
+func (r *SlowRing) Record(req SlowRequest) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.reqs) < r.max {
+		r.reqs = append(r.reqs, req)
+		return
+	}
+	minIdx := 0
+	for i := 1; i < len(r.reqs); i++ {
+		if r.reqs[i].DurationMS < r.reqs[minIdx].DurationMS {
+			minIdx = i
+		}
+	}
+	if req.DurationMS > r.reqs[minIdx].DurationMS {
+		r.reqs[minIdx] = req
+	}
+}
+
+// Snapshot returns the ring's entries, slowest first.
+func (r *SlowRing) Snapshot() []SlowRequest {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]SlowRequest(nil), r.reqs...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurationMS > out[j].DurationMS })
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/efd/monitor"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -137,6 +138,11 @@ func (d *binDecoder) release() {
 // alongside the accepted count, and one store commit acknowledges the
 // request.
 func (s *Server) handleSamplesBinary(w http.ResponseWriter, r *http.Request) {
+	span := obs.SpanFrom(r.Context())
+	var t0 time.Time
+	if span != nil {
+		t0 = time.Now()
+	}
 	d := binPool.Get().(*binDecoder)
 	defer d.release()
 	if err := d.readBody(r.Body); err != nil {
@@ -156,7 +162,14 @@ func (s *Server) handleSamplesBinary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "bad run encoding: %v", err)
 		return
 	}
+	if span != nil {
+		span.RecordStage("decode", time.Since(t0))
+		t0 = time.Now()
+	}
 	single := len(d.batches) == 1
 	accepted, unknown, err := s.IngestRuns(d.batches)
+	if span != nil {
+		span.RecordStage("engine", time.Since(t0))
+	}
 	s.writeIngestOutcome(w, single, accepted, unknown, err)
 }

@@ -50,9 +50,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/efd/monitor"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // NumShards is the number of job-table shards (see efd/monitor).
@@ -77,6 +79,11 @@ type Server struct {
 	// larger bodies answer 413. Default DefaultMaxBodyBytes; set
 	// before serving requests.
 	MaxBodyBytes int64
+
+	// obs is the HTTP observability plane, nil until EnableObs. A
+	// plain Handler (no EnableObs) serves byte-identical responses to
+	// an uninstrumented build.
+	obs *serverObs
 }
 
 // New returns a service over the dictionary. The server takes
@@ -93,15 +100,21 @@ func NewEngine(e *monitor.Engine) *Server {
 // Handler returns the HTTP handler of the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/health", s.handleHealthV1)
-	mux.HandleFunc("/v1/dictionary", s.handleDictionary)
-	mux.HandleFunc("/v1/metrics", s.handleMetrics)
-	mux.HandleFunc("/v1/jobs", s.handleJobs)
-	mux.HandleFunc("/v1/jobs/", s.handleJob)
-	mux.HandleFunc("/v1/samples", s.handleSamples)
-	mux.HandleFunc("/v1/executions", s.handleExecutions)
-	mux.HandleFunc("/v1/executions/", s.handleExecutions)
+	// Route labels are the registration patterns (bounded cardinality),
+	// never raw request paths.
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealth))
+	mux.HandleFunc("/v1/health", s.instrument("/v1/health", s.handleHealthV1))
+	mux.HandleFunc("/v1/dictionary", s.instrument("/v1/dictionary", s.handleDictionary))
+	mux.HandleFunc("/v1/metrics", s.instrument("/v1/metrics", s.handleMetrics))
+	mux.HandleFunc("/v1/jobs", s.instrument("/v1/jobs", s.handleJobs))
+	mux.HandleFunc("/v1/jobs/", s.instrument("/v1/jobs/{id}", s.handleJob))
+	mux.HandleFunc("/v1/samples", s.instrument("/v1/samples", s.handleSamples))
+	mux.HandleFunc("/v1/executions", s.instrument("/v1/executions", s.handleExecutions))
+	mux.HandleFunc("/v1/executions/", s.instrument("/v1/executions/{id}", s.handleExecutions))
+	if s.obs != nil {
+		mux.Handle("/metrics", s.obs.reg.Handler())
+		mux.HandleFunc("/v1/debug/slow", s.handleSlow)
+	}
 	return mux
 }
 
@@ -342,6 +355,14 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		s.handleSamplesBinary(w, r)
 		return
 	}
+	// Span stages time the ingest pipeline (decode → engine, the
+	// latter covering feed + WAL append + group commit); the clock is
+	// only read when tracing is on.
+	span := obs.SpanFrom(r.Context())
+	var t0 time.Time
+	if span != nil {
+		t0 = time.Now()
+	}
 	var req ingestRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -355,7 +376,14 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, codeBadRequest, "empty ingest request")
 		return
 	}
+	if span != nil {
+		span.RecordStage("decode", time.Since(t0))
+		t0 = time.Now()
+	}
 	accepted, unknown, err := s.IngestBatches(batches)
+	if span != nil {
+		span.RecordStage("engine", time.Since(t0))
+	}
 	s.writeIngestOutcome(w, single, accepted, unknown, err)
 }
 

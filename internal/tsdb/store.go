@@ -51,6 +51,9 @@ type Options struct {
 	// RecoverBackoff is the sleep before the first recovery retry,
 	// doubling per attempt. Default 1ms; negative means no backoff.
 	RecoverBackoff time.Duration
+	// Inst are optional observability instruments (see Instruments).
+	// The zero value records nothing and skips the clock reads.
+	Inst Instruments
 }
 
 func (o *Options) withDefaults() Options {
@@ -642,6 +645,10 @@ func (s *Store) Append(job, metric string, node int, offs []time.Duration, vals 
 	if len(vals) == 0 {
 		return nil
 	}
+	var start time.Time
+	if s.opt.Inst.AppendSeconds != nil {
+		start = time.Now()
+	}
 	enc := runEncPool.Get().(*runEnc)
 	enc.frames = enc.frames[:0]
 	records := int64(0)
@@ -676,6 +683,9 @@ func (s *Store) Append(job, metric string, node int, offs []time.Duration, vals 
 	s.w.appendGen += uint64(records)
 	s.appended += records
 	j.appendRun(metric, node, offs, vals)
+	if !start.IsZero() {
+		s.opt.Inst.AppendSeconds.Observe(time.Since(start).Seconds())
+	}
 	return nil
 }
 
@@ -687,6 +697,10 @@ func (s *Store) Append(job, metric string, node int, offs []time.Duration, vals 
 // mutex, so concurrent Appends (the ingest hot path) never stall
 // behind the disk.
 func (s *Store) Commit() error {
+	var start time.Time
+	if s.opt.Inst.CommitSeconds != nil {
+		start = time.Now()
+	}
 	s.syncMu.Lock()
 	defer s.syncMu.Unlock()
 	s.mu.Lock()
@@ -703,6 +717,9 @@ func (s *Store) Commit() error {
 	if w.syncGen >= gen { // everything already durable (group commit)
 		s.commits++
 		s.mu.Unlock()
+		if !start.IsZero() {
+			s.opt.Inst.CommitSeconds.Observe(time.Since(start).Seconds())
+		}
 		return nil
 	}
 	if err := w.bw.Flush(); err != nil {
@@ -730,9 +747,15 @@ func (s *Store) Commit() error {
 		}
 	}
 	if w.syncGen < gen {
+		if h := s.opt.Inst.CommitRecords; h != nil {
+			h.Observe(float64(gen - w.syncGen))
+		}
 		w.syncGen = gen
 	}
 	s.commits++
+	if !start.IsZero() {
+		s.opt.Inst.CommitSeconds.Observe(time.Since(start).Seconds())
+	}
 	return nil
 }
 
@@ -906,6 +929,10 @@ func (s *Store) IngestExecution(job, label string, ns *telemetry.NodeSet) error 
 // Concurrent callers serialize; appends to live jobs proceed while the
 // segment file is being written.
 func (s *Store) Flush() error {
+	var start time.Time
+	if s.opt.Inst.FlushSeconds != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	for s.flushing {
 		s.flushCond.Wait()
@@ -982,6 +1009,10 @@ func (s *Store) Flush() error {
 	s.lastFlushErr = nil
 	s.segs = append(s.segs, g)
 	s.flushes++
+	if !start.IsZero() {
+		s.opt.Inst.FlushSeconds.Observe(time.Since(start).Seconds())
+	}
+	s.opt.Inst.FlushBytes.Observe(float64(len(g.m.Data)))
 	inBatch := make(map[*jobMem]bool, len(batch))
 	for _, j := range batch {
 		inBatch[j] = true
@@ -1314,6 +1345,7 @@ func (s *Store) executionSeries(job string, seal bool) (*telemetry.NodeSet, erro
 	case bestPend != nil && (bestExec == nil || bestPend.seq > bestExec.Seq):
 		return materializeMem(bestPend, seal), nil
 	case bestExec != nil:
+		s.opt.Inst.MmapReads.Add(1)
 		return bestSeg.nodeSet(bestExec, seal), nil
 	}
 	return nil, fmt.Errorf("%w: %q", ErrUnknownExecution, job)

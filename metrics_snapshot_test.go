@@ -1,0 +1,74 @@
+package repro
+
+// Metrics snapshot for the bench trajectory: scripts/bench.sh runs
+// this test after the benchmark suite with METRICS_OUT set, drives a
+// representative ingest + recognition workload through a fully
+// instrumented storage-mode server, and writes the resulting
+// Prometheus exposition to the file. The script folds the key
+// histogram families (_sum/_count series) into BENCH_<rev>.json next
+// to the benchmark numbers, so operation-latency distributions travel
+// with the perf trajectory. Without METRICS_OUT the test skips — it
+// asserts nothing a normal run needs.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/efd/monitor"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func TestMetricsSnapshot(t *testing.T) {
+	out := os.Getenv("METRICS_OUT")
+	if out == "" {
+		t.Skip("METRICS_OUT not set; run via scripts/bench.sh")
+	}
+
+	eng := monitor.New(benchServerDictionary(t))
+	reg := obs.NewRegistry()
+	eng.EnableMetrics(reg)
+	if _, err := eng.OpenStore(t.TempDir(), monitor.StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.NewEngine(eng)
+	srv.EnableObs(reg, 1)
+	h := srv.Handler()
+
+	const nJobs = 16
+	bodies, polls := benchServerWorkload(t, h, nJobs)
+	for i := 0; i < 4*nJobs; i++ {
+		rec := httptest.NewRecorder()
+		if i%4 == 3 {
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, polls[i%nJobs], nil))
+		} else {
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/samples", bytes.NewReader(bodies[i%nJobs])))
+		}
+		if rec.Code != http.StatusOK {
+			t.Fatalf("workload request %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, fam := range []string{
+		"efd_http_request_seconds", "efd_engine_ingest_seconds",
+		"efd_tsdb_wal_append_seconds", "efd_tsdb_commit_seconds",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Fatalf("snapshot exposition is missing %s", fam)
+		}
+	}
+	if err := os.WriteFile(out, rec.Body.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

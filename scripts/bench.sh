@@ -16,11 +16,21 @@
 # hold >=2x fewer allocs/op, pinned by TestClientIngestAllocRatio)
 # since -bench=. matches them like every other root benchmark.
 #
+# After the bench run the PR 9 observability plane is scraped:
+# TestMetricsSnapshot (root package, METRICS_OUT-gated) drives a
+# representative workload through a fully instrumented storage-mode
+# server and dumps GET /metrics; the key latency histograms
+# (_sum/_count of the http/engine/tsdb families) land in the JSON
+# under "metrics", next to the benchmark numbers, so operation-latency
+# distributions travel with the perf trajectory. The raw exposition is
+# kept as BENCH_<rev>.metrics.txt.
+#
 # Usage: scripts/bench.sh [out.json]
 set -eu
 
 out="${1:-BENCH_local.json}"
 raw="${out%.json}.txt"
+mraw="${out%.json}.metrics.txt"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -35,21 +45,65 @@ if [ "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 0)}" -ne 8 ]; then
     go test -bench='^BenchmarkServerThroughput' -benchmem -count=1 -cpu 8 -run '^$' . | tee -a "$tmp"
 fi
 
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-    name = $1; iters = $2; ns = $3
-    bytes = "null"; allocs = "null"
-    for (i = 4; i <= NF; i++) {
-        if ($i == "B/op")      bytes  = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+# Post-bench metrics scrape (see header). Failure here is a real
+# regression in the observability plane, not a bench flake: set -eu
+# lets it fail the run.
+METRICS_OUT="$mraw" go test -run '^TestMetricsSnapshot$' -count=1 .
+
+# The JSON output: the benchmark array plus the scraped histogram
+# families ({name, count, sum_seconds-or-units} per histogram).
+{
+    echo '{'
+    echo '"benchmarks":'
+    awk '
+    BEGIN { print "[" }
+    /^Benchmark/ {
+        name = $1; iters = $2; ns = $3
+        bytes = "null"; allocs = "null"
+        for (i = 4; i <= NF; i++) {
+            if ($i == "B/op")      bytes  = $(i - 1)
+            if ($i == "allocs/op") allocs = $(i - 1)
+        }
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, iters, ns, bytes, allocs
     }
-    if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, ns, bytes, allocs
-}
-END { if (n) printf "\n"; print "]" }
-' "$tmp" > "$out"
+    END { if (n) printf "\n"; print "]," }
+    ' "$tmp"
+    echo '"metrics":'
+    awk '
+    # Collect every histogram: _sum and _count lines of series without
+    # labels (the bench workload leaves route-labelled HTTP series too;
+    # label-free engine/tsdb families are the trajectory signal, and
+    # labelled ones aggregate by stripping the label set).
+    /_sum(\{[^}]*\})? / {
+        name = $1; sub(/_sum.*/, "", name)
+        sum[name] += $2; next
+    }
+    /_count(\{[^}]*\})? / {
+        name = $1; sub(/_count.*/, "", name)
+        cnt[name] += $2; seen[name] = 1; next
+    }
+    END {
+        print "["
+        n = 0
+        for (name in seen) ordered[n++] = name
+        # insertion sort: stable JSON across runs without gawk asort
+        for (i = 1; i < n; i++) {
+            v = ordered[i]
+            for (j = i - 1; j >= 0 && ordered[j] > v; j--) ordered[j+1] = ordered[j]
+            ordered[j+1] = v
+        }
+        for (i = 0; i < n; i++) {
+            name = ordered[i]
+            printf "  {\"name\": \"%s\", \"count\": %d, \"sum\": %g}%s\n", \
+                name, cnt[name], sum[name], (i < n - 1) ? "," : ""
+        }
+        print "]"
+    }
+    ' "$mraw"
+    echo '}'
+} > "$out"
 
 cp "$tmp" "$raw"
-echo "wrote $out and $raw"
+echo "wrote $out, $raw, and $mraw"
