@@ -39,17 +39,26 @@
 #   make lint      - the repo's own analyzers: efdvet (internal/
 #                    analysis, documented in LINTS.md) enforcing the
 #                    vfs seam, the off-lock group-commit rule, the
-#                    hot-path allocation contract, errors.Is on
-#                    sentinels, and no process exits in libraries;
-#                    exit 2 means the tree failed to typecheck and
-#                    the analyzers never ran
+#                    transitive hot-path allocation contract (call-
+#                    graph propagation from //efd:hotpath roots),
+#                    whole-module atomic-field discipline, the locked
+#                    public API surface, errors.Is on sentinels, and
+#                    no process exits in libraries; the driver prints
+#                    the call-graph build cost to stderr so analysis
+#                    regressions show in CI logs; exit 2 means the
+#                    tree failed to typecheck and the analyzers
+#                    never ran
+#   make api-golden - regenerate the locked public-API goldens under
+#                    internal/analysis/testdata/api after an intended
+#                    API change (apilock fails make lint until the
+#                    new surface is committed)
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo worktree)
 FUZZTIME ?= 10s
 CHAOSTIME ?= 2s
 
-.PHONY: check test test-race vet lint fmt-check bench bench-compare fuzz-short chaos-short obs-golden
+.PHONY: check test test-race vet lint api-golden fmt-check bench bench-compare fuzz-short chaos-short obs-golden
 
 check: test-race vet lint fmt-check chaos-short obs-golden
 
@@ -76,6 +85,11 @@ vet:
 
 lint:
 	$(GO) run ./cmd/efdvet ./...
+
+# An intended API change is a two-step commit: regenerate the goldens,
+# review the diff of the rendered surface alongside the code change.
+api-golden:
+	$(GO) run ./cmd/efdvet -api-golden
 
 # Go's fuzzer takes one -fuzz pattern per invocation, so each decoder
 # gets its own bounded run; seed corpora make even a short run cover

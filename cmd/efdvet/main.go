@@ -4,13 +4,22 @@
 //
 // Usage:
 //
-//	efdvet [-json] [-list] [patterns ...]
+//	efdvet [-json] [-list] [-api-golden] [patterns ...]
 //
 // Patterns are module-relative ("./...", "./internal/tsdb",
 // "./efd/..."); the default is "./...". Output is one finding per
-// line:
+// line, sorted by (file, line, col, rule) across all packages so CI
+// diffs of lint output are stable run-to-run:
 //
 //	file:line:col: [rule] message
+//
+// -api-golden regenerates the locked public-API surface goldens for
+// the pinned packages (see the apilock rule in LINTS.md) instead of
+// linting — the deliberate step after an intended API change.
+//
+// In text mode the driver also reports the call-graph construction
+// cost on stderr, so regressions in analysis cost show up in `make
+// lint` logs.
 //
 // Exit codes are distinct so CI failures are diagnosable at a glance:
 //
@@ -27,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -46,6 +56,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	apiGolden := fs.Bool("api-golden", false, "regenerate the locked public-API goldens for the pinned packages and exit")
 	if err := fs.Parse(args); err != nil {
 		return exitLoadFail
 	}
@@ -60,7 +71,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "efdvet: load error: %v\n", err)
 		return exitLoadFail
 	}
-	pkgs, err := loader.Load(fs.Args()...)
+	patterns := fs.Args()
+	if *apiGolden && len(patterns) == 0 {
+		// Regeneration needs exactly the pinned packages; loading
+		// them directly keeps it fast and independent of tree state
+		// elsewhere.
+		for _, rel := range analysis.APIPinnedPackages {
+			patterns = append(patterns, "./"+rel)
+		}
+	}
+	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		// A load failure is not a lint verdict: the tree did not
 		// typecheck (or a pattern matched nothing), so no analyzer
@@ -74,11 +94,34 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return exitLoadFail
 	}
+	if *apiGolden {
+		written, err := analysis.WriteAPIGoldens(pkgs)
+		if err != nil {
+			fmt.Fprintf(stderr, "efdvet: api-golden: %v\n", err)
+			return exitLoadFail
+		}
+		for _, w := range written {
+			fmt.Fprintf(stdout, "wrote %s\n", w)
+		}
+		return exitClean
+	}
+	mod := analysis.NewModule(pkgs)
+	if !*jsonOut {
+		// The call graph is the costly shared construction; its build
+		// time in every `make lint` log makes analysis-cost
+		// regressions visible the PR they land.
+		g := mod.Graph()
+		fmt.Fprintf(stderr, "efdvet: callgraph: %d nodes, %d edges, built in %s\n",
+			g.NumNodes(), g.NumEdges(), g.BuildTime.Round(time.Millisecond))
+	}
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, analysis.Suppress(pkg, analysis.Run(pkg, analysis.All))...)
+		diags = append(diags, analysis.Suppress(pkg, mod.Run(pkg, analysis.All))...)
 	}
 	relativize(diags)
+	// One canonical order across packages: (file, line, col, rule) on
+	// the paths as printed, so successive runs diff clean in CI.
+	analysis.SortDiagnostics(diags)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

@@ -35,14 +35,17 @@ type Analyzer struct {
 }
 
 // Pass is one (analyzer, package) execution: the typed syntax under
-// inspection plus the report sink.
+// inspection, the shared module state (call graph and module-wide
+// indexes, built once per run), and the report sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Mod      *Module
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -64,14 +67,25 @@ var All = []*Analyzer{
 	VFSSeam,
 	LockDiscipline,
 	HotPath,
+	AtomicField,
+	APILock,
 	ErrIs,
 	NoExit,
 }
 
 // Run executes the analyzers over one loaded package and returns the
 // raw findings, position-sorted. Suppression comments are not applied
-// here — see Suppress.
+// here — see Suppress. The package is analyzed as a module of one:
+// transitive rules see only its own edges. Multi-package runs (the
+// driver, the dogfood gate) build one Module and use Module.Run so
+// cross-package chains resolve and shared indexes build once.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return NewModule([]*Package{pkg}).Run(pkg, analyzers)
+}
+
+// Run executes the analyzers over one package of the module, with all
+// module-wide state (call graph, access indexes) shared across calls.
+func (m *Module) Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -80,15 +94,20 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Mod:      m,
+			pkg:      pkg,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
-	sortDiagnostics(diags)
+	SortDiagnostics(diags)
 	return diags
 }
 
-func sortDiagnostics(diags []Diagnostic) {
+// SortDiagnostics orders findings by (file, line, col, rule) — the
+// one canonical order, applied both per package and by the driver
+// across packages, so lint output diffs are stable run-to-run.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces whole-module atomic-field discipline (the
+// PR 6/8/9 state machines live on lock-free atomics): a struct field
+// that is accessed through sync/atomic anywhere in the module must be
+// accessed atomically everywhere — one plain read racing a CAS is the
+// exact bug class the exactly-once transition counters were
+// hand-audited against, and it is invisible to review one function at
+// a time. Mixed access is a finding at the plain site, carrying the
+// atomic site it races with.
+//
+// The typed atomics (atomic.Int64-family, atomic.Value) are safe by
+// construction — except when copied: a copy starts a second,
+// unsynchronized word, so any expression that copies such a value
+// (assignment, argument, return, composite literal, range value) is a
+// finding too.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed through sync/atomic anywhere must be accessed atomically everywhere; atomic.Int64-family values must not be copied",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	emitOwned(pass, pass.Mod.atomicDiags())
+}
+
+func (m *Module) atomicDiags() []ownedDiag {
+	m.atomicOnce.Do(func() { m.atomic = buildAtomicDiags(m.Pkgs) })
+	return m.atomic
+}
+
+// atomicWordFuncs are the package-level sync/atomic operations whose
+// first argument addresses the word they operate on.
+var atomicWordFuncs = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicWordFuncs[op+ty] = true
+		}
+	}
+}
+
+// typedAtomicNames are the sync/atomic struct types whose methods are
+// atomic by construction and whose values must never be copied.
+var typedAtomicNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+type fieldAccess struct {
+	pkg *Package
+	pos token.Pos
+}
+
+type fieldUses struct {
+	field  *types.Var
+	owner  string // rendered owner type, for messages
+	atomic []fieldAccess
+	plain  []fieldAccess
+}
+
+func buildAtomicDiags(pkgs []*Package) []ownedDiag {
+	ordered := append([]*Package(nil), pkgs...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j-1].Path > ordered[j].Path; j-- {
+			ordered[j-1], ordered[j] = ordered[j], ordered[j-1]
+		}
+	}
+	uses := make(map[*types.Var]*fieldUses)
+	var order []*types.Var // first-seen order, deterministic
+	var out []ownedDiag
+	for _, pkg := range ordered {
+		// accounted marks selector expressions consumed as the &field
+		// operand of a sync/atomic call — those are the atomic
+		// accesses, not plain ones.
+		accounted := make(map[ast.Expr]bool)
+		record := func(sel *ast.SelectorExpr, atomic bool) {
+			field := fieldOf(pkg.Info, sel)
+			if field == nil {
+				return
+			}
+			fu := uses[field]
+			if fu == nil {
+				fu = &fieldUses{field: field, owner: ownerName(pkg.Info, sel)}
+				uses[field] = fu
+				order = append(order, field)
+			}
+			acc := fieldAccess{pkg: pkg, pos: sel.Sel.Pos()}
+			if atomic {
+				fu.atomic = append(fu.atomic, acc)
+			} else {
+				fu.plain = append(fu.plain, acc)
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if sel := atomicWordArg(pkg.Info, x); sel != nil {
+						accounted[sel] = true
+						record(sel, true)
+					}
+				case *ast.SelectorExpr:
+					if !accounted[x] {
+						record(x, false)
+					}
+				}
+				return true
+			})
+			out = append(out, copyViolations(pkg, f)...)
+		}
+	}
+	for _, field := range order {
+		fu := uses[field]
+		if len(fu.atomic) == 0 || len(fu.plain) == 0 {
+			continue
+		}
+		a := fu.atomic[0]
+		aPos := a.pkg.Fset.Position(a.pos)
+		for _, p := range fu.plain {
+			out = append(out, ownedDiag{pkg: p.pkg, pos: p.pos, msg: fmt.Sprintf(
+				"field %s.%s is accessed through sync/atomic at %s:%d:%d but plainly here: mixed access races; use sync/atomic (or an atomic.%s field) at every site",
+				fu.owner, field.Name(), shortPath(aPos.Filename), aPos.Line, aPos.Column,
+				suggestTypedAtomic(field.Type()))})
+		}
+	}
+	return out
+}
+
+// atomicWordArg returns the field selector addressed by a
+// sync/atomic package-level call (atomic.AddInt64(&s.f, 1) → s.f),
+// or nil.
+func atomicWordArg(info *types.Info, call *ast.CallExpr) *ast.SelectorExpr {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // a typed-atomic method, not a word operation
+	}
+	if !atomicWordFuncs[fn.Name()] || len(call.Args) == 0 {
+		return nil
+	}
+	unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldOf resolves a selector to the struct field it reads or
+// writes, or nil for methods, package selectors, and locals.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// ownerName renders the type owning the selected field.
+func ownerName(info *types.Info, sel *ast.SelectorExpr) string {
+	if tv, ok := info.Types[sel.X]; ok {
+		if n := namedType(tv.Type); n != nil {
+			return n.Obj().Name()
+		}
+	}
+	return "?"
+}
+
+// suggestTypedAtomic names the typed atomic matching the field's
+// width, for the fix-it half of the message.
+func suggestTypedAtomic(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Int64"
+}
+
+// shortPath trims the path to its last three segments — enough to
+// locate the racing site without absolute-path noise in messages.
+func shortPath(p string) string {
+	parts := strings.Split(p, "/")
+	if len(parts) > 3 {
+		parts = parts[len(parts)-3:]
+	}
+	return strings.Join(parts, "/")
+}
+
+// copyViolations flags expressions that copy a typed-atomic value:
+// the copy is a second, unsynchronized word.
+func copyViolations(pkg *Package, f *ast.File) []ownedDiag {
+	var out []ownedDiag
+	check := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if _, isLit := e.(*ast.CompositeLit); isLit {
+			return // construction of a fresh value, not a copy
+		}
+		if _, isAddr := e.(*ast.UnaryExpr); isAddr {
+			return
+		}
+		tv, ok := pkg.Info.Types[e]
+		if !ok || !isTypedAtomic(tv.Type) {
+			return
+		}
+		out = append(out, ownedDiag{pkg: pkg, pos: e.Pos(), msg: fmt.Sprintf(
+			"copy of %s: the copy is a second unsynchronized word whose updates readers of the original never see; keep a pointer instead",
+			types.TypeString(tv.Type, nil))})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				check(r)
+			}
+		case *ast.ValueSpec:
+			for _, v := range x.Values {
+				check(v)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				check(r)
+			}
+		case *ast.CallExpr:
+			if !isConversion(pkg.Info, x) {
+				for _, a := range x.Args {
+					check(a)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					check(kv.Value)
+				} else {
+					check(el)
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Value != nil {
+				// In `for _, v := range …` the value is a defining
+				// ident, typed through Defs rather than Types.
+				var t types.Type
+				if tv, ok := pkg.Info.Types[x.Value]; ok {
+					t = tv.Type
+				} else if id, ok := x.Value.(*ast.Ident); ok {
+					if obj := pkg.Info.Defs[id]; obj != nil {
+						t = obj.Type()
+					}
+				}
+				if t != nil && isTypedAtomic(t) {
+					out = append(out, ownedDiag{pkg: pkg, pos: x.Value.Pos(), msg: fmt.Sprintf(
+						"range copies %s per element: range over indexes and address the element instead",
+						types.TypeString(t, nil))})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isTypedAtomic reports whether t is one of the sync/atomic struct
+// types (atomic.Int64, atomic.Value, …).
+func isTypedAtomic(t types.Type) bool {
+	n, _ := types.Unalias(t).(*types.Named)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic" && typedAtomicNames[n.Obj().Name()]
+}
+
+// isConversion reports whether the call expression is a type
+// conversion rather than a function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,119 @@
+package analysis_test
+
+import (
+	"go/types"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// loadFixturePkg typechecks one fixture directory under a synthetic
+// import path and returns the loaded package.
+func loadFixturePkg(t *testing.T, name, importPath string) *analysis.Package {
+	t.Helper()
+	loader, err := analysis.NewLoader(fixture(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(fixture(name), importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestCallGraphEdgeSets pins the edge set of the fixture's root
+// function: one edge per kind the graph distinguishes — static call,
+// interface dispatch fanned out to every implementation by
+// class-hierarchy analysis, go statement, deferred call, and a
+// function value taken as a callback.
+func TestCallGraphEdgeSets(t *testing.T) {
+	pkg := loadFixturePkg(t, "callgraph", "fixture/callgraph")
+	g := analysis.NewModule([]*analysis.Package{pkg}).Graph()
+
+	// Every declared function with a body is a node.
+	if got, want := g.NumNodes(), 8; got != want {
+		t.Errorf("NumNodes = %d, want %d", got, want)
+	}
+
+	var root *types.Func
+	for _, fn := range g.Order {
+		if analysis.FuncDisplayName(fn) == "root" {
+			root = fn
+		}
+	}
+	if root == nil {
+		t.Fatal("root not in the graph")
+	}
+
+	var got []string
+	for _, e := range g.EdgesFrom(root) {
+		if e.Caller != root {
+			t.Errorf("edge from EdgesFrom(root) has Caller %s", analysis.FuncDisplayName(e.Caller))
+		}
+		if !e.Site.IsValid() {
+			t.Errorf("edge to %s has no site", analysis.FuncDisplayName(e.Callee))
+		}
+		got = append(got, e.Kind.String()+" "+analysis.FuncDisplayName(e.Callee))
+	}
+	sort.Strings(got)
+	want := []string{
+		"call direct",
+		"call use",
+		"defer cleanup",
+		"go spawn",
+		"iface alt.greet",
+		"iface eng.greet",
+		"ref callback",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("edges from root = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges from root = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCallGraphMarkers: the hot/cold doc directives land on the nodes
+// the traversal consults.
+func TestCallGraphMarkers(t *testing.T) {
+	pkg := loadFixturePkg(t, "hotpathchain", "fixture/hotpathchain")
+	g := analysis.NewModule([]*analysis.Package{pkg}).Graph()
+	want := map[string]struct{ hot, cold bool }{
+		"Recognize":    {hot: true},
+		"Spawn":        {hot: true},
+		"Clean":        {hot: true},
+		"coldDescribe": {cold: true},
+		"describe":     {},
+		"tick":         {},
+	}
+	seen := 0
+	for _, fn := range g.Order {
+		fi := g.Funcs[fn]
+		w, ok := want[analysis.FuncDisplayName(fn)]
+		if !ok {
+			continue
+		}
+		seen++
+		if fi.Hot != w.hot || fi.Cold != w.cold {
+			t.Errorf("%s: hot=%v cold=%v, want hot=%v cold=%v",
+				analysis.FuncDisplayName(fn), fi.Hot, fi.Cold, w.hot, w.cold)
+		}
+	}
+	if seen != len(want) {
+		t.Errorf("found %d of %d marker functions in the graph", seen, len(want))
+	}
+}
+
+// TestCallGraphSharedAcrossAnalyzers: one Module builds its graph
+// exactly once no matter how many consumers ask.
+func TestCallGraphSharedAcrossAnalyzers(t *testing.T) {
+	pkg := loadFixturePkg(t, "callgraph", "fixture/callgraph")
+	mod := analysis.NewModule([]*analysis.Package{pkg})
+	if g1, g2 := mod.Graph(), mod.Graph(); g1 != g2 {
+		t.Fatal("Module.Graph rebuilt the call graph on second use")
+	}
+}

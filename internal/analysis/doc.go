@@ -1,6 +1,6 @@
 // Package analysis hosts efdvet, the repo's custom static-analysis
 // suite: a stdlib-only framework (go/parser + go/ast + go/types over
-// a from-source importer, zero module dependencies) plus the five
+// a from-source importer, zero module dependencies) plus the seven
 // analyzers that mechanically enforce invariants earlier PRs paid for
 // in benchmarks and crash tests:
 //
@@ -11,18 +11,39 @@
 //	lockdiscipline no fsync / record encoding / direct file writes
 //	               inside the tsdb store-mutex critical sections —
 //	               the off-lock group-commit rule (PR 4)
-//	hotpath        functions marked //efd:hotpath stay free of fmt,
-//	               time.Now, runtime string concatenation, and map
-//	               allocation (PR 1/3 allocation-free contract)
+//	hotpath        functions marked //efd:hotpath — and, since PR 10,
+//	               everything module-internal reachable from them
+//	               through the call graph, minus //efd:coldpath —
+//	               stay free of fmt, time.Now, slog, runtime string
+//	               concatenation, and map allocation (PR 1/3
+//	               allocation-free contract); transitive findings
+//	               carry the full call chain from the marked root
+//	atomicfield    a struct field accessed through sync/atomic
+//	               anywhere is accessed atomically everywhere, and
+//	               atomic.Int64-family values are never copied
+//	               (PR 10, guarding the PR 6/8/9 lock-free state
+//	               machines)
+//	apilock        the exported surface of the pinned public packages
+//	               matches its golden under testdata/api; intended
+//	               changes regenerate with make api-golden (PR 10)
 //	erris          sentinel errors are matched with errors.Is, not
 //	               ==/!= (PR 5 typed-sentinel contract), excepting
 //	               io.EOF from a direct Reader.Read
 //	noexit         library packages never terminate or panic on
 //	               error values; only cmd/* may (PR 5 embeddability)
 //
+// Since PR 10 the engine is interprocedural: one run builds a
+// type-resolved module-wide call graph (callgraph.go — static calls
+// precise, interface and method-value dispatch via class-hierarchy
+// analysis, go statements and deferred calls as edges), cached on the
+// run's shared Module so every analyzer consumes one construction.
+// Transitive rules only see edges between the packages loaded
+// together; the driver loads ./... so the guarantees are
+// module-wide.
+//
 // The cmd/efdvet driver loads ./..., runs the suite, and prints
-// file:line:col: [rule] message (or -json). Findings are suppressed
-// in place with
+// file:line:col: [rule] message (or -json), sorted by (file, line,
+// col, rule) across packages. Findings are suppressed in place with
 //
 //	//efdvet:ignore <rule> <reason>
 //
@@ -39,6 +60,6 @@
 // resolve against the module tree, the rest against GOROOT — so the
 // suite needs no compiled export data, no go/packages, and no
 // network. A full ./... pass over this repo costs a few seconds; the
-// meta-test in zero_findings_test.go runs exactly that on every make
+// TestTreeClean dogfood gate runs exactly that on every make
 // check, so the tree is always lint-clean by construction.
 package analysis

@@ -25,8 +25,12 @@ func TestTreeClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages — pattern expansion is broken", len(pkgs))
 	}
+	// One shared Module, exactly as the driver builds it: transitive
+	// rules must see cross-package call chains, and the call graph
+	// must be constructed once for the whole run.
+	mod := analysis.NewModule(pkgs)
 	for _, pkg := range pkgs {
-		for _, d := range analysis.Suppress(pkg, analysis.Run(pkg, analysis.All)) {
+		for _, d := range analysis.Suppress(pkg, mod.Run(pkg, analysis.All)) {
 			t.Errorf("%s", d)
 		}
 	}

@@ -141,12 +141,14 @@ func (im *srcImporter) check(path, dir string) (*types.Package, error) {
 	im.pkgs[path] = pkg
 	if target {
 		im.built[path] = &Package{
-			Path:  path,
-			Dir:   dir,
-			Fset:  im.fset,
-			Files: files,
-			Types: pkg,
-			Info:  info,
+			Path:    path,
+			Dir:     dir,
+			ModPath: im.modPath,
+			ModDir:  im.modDir,
+			Fset:    im.fset,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
 		}
 	}
 	return pkg, nil

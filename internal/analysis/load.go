@@ -12,14 +12,17 @@ import (
 )
 
 // Package is one fully loaded target: parsed syntax (with comments)
-// plus complete type information.
+// plus complete type information, and the module it was loaded from
+// (apilock resolves golden paths against ModDir).
 type Package struct {
-	Path  string
-	Dir   string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path    string
+	Dir     string
+	ModPath string
+	ModDir  string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 }
 
 // LoadError reports that a package could not be loaded or typechecked

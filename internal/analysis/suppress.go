@@ -68,7 +68,7 @@ func Suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 		}
 	}
 	kept = append(kept, meta...)
-	sortDiagnostics(kept)
+	SortDiagnostics(kept)
 	return kept
 }
 

@@ -1,0 +1,78 @@
+// Package atomicfield exercises the module-wide atomic-field
+// discipline: a field touched through sync/atomic anywhere must be
+// touched atomically everywhere, and typed atomics must not be
+// copied.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // word-atomic via atomic.AddInt64 — every site must follow
+	drops int64 // consistently atomic: clean
+	total atomic.Int64
+}
+
+// bump is the atomic site the mixed-access findings point back at.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// snapshot reads hits plainly — racing bump's AddInt64.
+func (c *counters) snapshot() int64 {
+	return c.hits // want `field counters\.hits is accessed through sync/atomic at .*atomicfield\.go:\d+:\d+ but plainly here: mixed access races`
+}
+
+// reset writes hits plainly — same race, write side.
+func (c *counters) reset() {
+	c.hits = 0 // want `field counters\.hits is accessed through sync/atomic .* but plainly here: mixed access races`
+}
+
+// drain is the consistent counterpart: drops is atomic at every site,
+// so neither function is a finding.
+func (c *counters) drain() int64 {
+	atomic.AddInt64(&c.drops, 1)
+	return atomic.LoadInt64(&c.drops)
+}
+
+// leak copies the typed atomic: the copy is a second word nobody
+// else's Store ever reaches.
+func (c *counters) leak() int64 {
+	snap := c.total // want `copy of sync/atomic\.Int64: the copy is a second unsynchronized word`
+	return snap.Load()
+}
+
+// sink takes the typed atomic by value — a copy at the call site.
+func sink(v atomic.Int64) int64 { return v.Load() }
+
+func (c *counters) pass() int64 {
+	return sink(c.total) // want `copy of sync/atomic\.Int64: the copy is a second unsynchronized word`
+}
+
+// iterate ranges over a slice of typed atomics by value: one copy per
+// element.
+func iterate(all []atomic.Int64) int64 {
+	var sum int64
+	for _, v := range all { // want `range copies sync/atomic\.Int64 per element: range over indexes`
+		sum += v.Load()
+	}
+	return sum
+}
+
+// viaPointer is the fixed forms of all of the above: pointers and
+// methods, never value copies — clean.
+func viaPointer(c *counters) int64 {
+	p := &c.total
+	p.Add(1)
+	return c.total.Load()
+}
+
+var (
+	_ = (*counters).bump
+	_ = (*counters).snapshot
+	_ = (*counters).reset
+	_ = (*counters).drain
+	_ = (*counters).leak
+	_ = (*counters).pass
+	_ = iterate
+	_ = viaPointer
+)

@@ -1,0 +1,37 @@
+// Package callgraph is the edge-set fixture: one function exercising
+// every edge kind the graph distinguishes — static call, interface
+// dispatch (class-hierarchy analysis), go statement, deferred call,
+// and a function value taken as a callback.
+package callgraph
+
+type greeter interface {
+	greet() string
+}
+
+type eng struct{}
+
+func (eng) greet() string { return "hi" }
+
+type alt struct{}
+
+func (alt) greet() string { return "yo" }
+
+func root(g greeter) {
+	direct()
+	_ = g.greet()
+	go spawn()
+	defer cleanup()
+	use(callback)
+}
+
+func direct() {}
+
+func spawn() {}
+
+func cleanup() {}
+
+func callback() {}
+
+func use(f func()) { f() }
+
+var _ = root

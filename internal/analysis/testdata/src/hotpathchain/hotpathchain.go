@@ -1,0 +1,76 @@
+// Package hotpathchain exercises the transitive hotpath analyzer:
+// the //efd:hotpath contract propagates through the call graph — two
+// unmarked hops, one of them interface dispatch — and //efd:coldpath
+// is the reviewed escape hatch that stops propagation.
+package hotpathchain
+
+import "fmt"
+
+// renderer is dispatched through an interface so the second hop is
+// only resolvable by class-hierarchy analysis.
+type renderer interface {
+	render(v int) string
+}
+
+// sprintRenderer formats with fmt — legal in isolation, fatal two
+// hops below a hot root.
+type sprintRenderer struct{}
+
+func (sprintRenderer) render(v int) string {
+	return fmt.Sprintf("%d", v) // want `transitive hot path \(Recognize → describe → sprintRenderer\.render\): fmt\.Sprintf in a hot path allocates`
+}
+
+// constRenderer is an allocation-free implementation: reached by the
+// same dispatch, no finding.
+type constRenderer struct{}
+
+func (constRenderer) render(v int) string { return "v" }
+
+// Recognize is the hot root: it never calls fmt itself, and before
+// the interprocedural engine it passed lint while regressing at bench
+// time.
+//
+//efd:hotpath
+func Recognize(r renderer) string {
+	return describe(r)
+}
+
+// describe is the unmarked intermediate hop: reached transitively,
+// checked transitively.
+func describe(r renderer) string {
+	return r.render(1)
+}
+
+// Spawn launches work on a goroutine: go statements are call-graph
+// edges, so the spawned body inherits the contract.
+//
+//efd:hotpath
+func Spawn() {
+	go tick()
+}
+
+func tick() {
+	fmt.Println("tick") // want `transitive hot path \(Spawn → tick\): fmt\.Println in a hot path allocates`
+}
+
+// Clean reaches formatting only through a //efd:coldpath helper: the
+// identical shape as Recognize, passing because the cold boundary is
+// written down.
+//
+//efd:hotpath
+func Clean(r renderer) string {
+	return coldDescribe(r)
+}
+
+// coldDescribe is the deliberately cold intermediate: traversal stops
+// at the marker, so neither its fmt call nor anything it dispatches
+// to is a finding under the Clean root.
+//
+//efd:coldpath
+func coldDescribe(r renderer) string {
+	return fmt.Sprintf("cold: %s", r.render(3))
+}
+
+var _ = Recognize
+var _ = Spawn
+var _ = Clean

@@ -388,7 +388,10 @@ var ErrShortSeries = errors.New("telemetry: series does not cover window")
 var ErrUnsortedSeries = errors.New("telemetry: series has out-of-order samples; call Sort first")
 
 // errInvalidWindow is the cold formatting helper for window's invalid
-// bound rejection, kept out of the //efd:hotpath body.
+// bound rejection, kept out of the //efd:hotpath body; //efd:coldpath
+// stops the transitive hotpath rule at this reviewed boundary.
+//
+//efd:coldpath
 func errInvalidWindow(w Window) error { return fmt.Errorf("telemetry: invalid window %v", w) }
 
 // window resolves the [lo, hi) sample range covered by w. On the

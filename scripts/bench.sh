@@ -25,6 +25,11 @@
 # distributions travel with the perf trajectory. The raw exposition is
 # kept as BENCH_<rev>.metrics.txt.
 #
+# The PR 10 interprocedural efdvet engine added a third signal: the
+# wall-clock of a full `efdvet ./...` pass (prebuilt binary, compile
+# time excluded) lands under "efdvet" in the JSON, so lint-cost
+# regressions accumulate revision-over-revision like everything else.
+#
 # Usage: scripts/bench.sh [out.json]
 set -eu
 
@@ -50,6 +55,21 @@ fi
 # lets it fail the run.
 METRICS_OUT="$mraw" go test -run '^TestMetricsSnapshot$' -count=1 .
 
+# efdvet wall-clock over ./... (PR 10): the interprocedural engine
+# made lint cost a perf surface of its own, so it rides the same
+# per-revision trajectory as the benchmarks. A prebuilt binary keeps
+# `go run` compile time out of the number; findings (nonzero exit)
+# must not abort the bench run, so the exit code is swallowed — lint
+# verdicts belong to `make lint`, only the cost is measured here.
+vetbin="$(mktemp)"
+go build -o "$vetbin" ./cmd/efdvet
+vet_start=$(date +%s%N)
+"$vetbin" ./... >/dev/null 2>&1 || true
+vet_end=$(date +%s%N)
+rm -f "$vetbin"
+efdvet_ms=$(( (vet_end - vet_start) / 1000000 ))
+echo "efdvet ./... took ${efdvet_ms}ms"
+
 # The JSON output: the benchmark array plus the scraped histogram
 # families ({name, count, sum_seconds-or-units} per histogram).
 {
@@ -70,6 +90,7 @@ METRICS_OUT="$mraw" go test -run '^TestMetricsSnapshot$' -count=1 .
     }
     END { if (n) printf "\n"; print "]," }
     ' "$tmp"
+    printf '"efdvet": {"wall_ms": %d},\n' "$efdvet_ms"
     echo '"metrics":'
     awk '
     # Collect every histogram: _sum and _count lines of series without
